@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every figure bench runs the paper's experiment at ``SCALE`` (density,
+per-host load and lifetime shape preserved — see
+``ExperimentConfig.scaled``), executes exactly once inside
+pytest-benchmark (rounds=1: a whole-network simulation is the unit of
+work), prints the regenerated figure, and asserts the paper's *shape*
+claims.  ``EXPERIMENTS.md`` records paper-vs-measured per figure.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+#: Scenario scale for figure benches (0.2 => 20 hosts, ~450 m, 400 s).
+SCALE = 0.2
+#: Seed used across all figure benches.
+SEED = 1
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Ablation A3: grid side d vs the sqrt(2)r/3 bound (§2).
+
+Smaller cells mean more grids, hence more simultaneously awake
+gateways and less energy saving; the paper's d=100 m sits just under
+the reachability bound (117.85 m for r=250 m), maximizing sleepers.
+"""
+
+from repro.experiments import figures
+
+from conftest import SCALE, SEED, run_once
+
+SIDES = (50.0, 80.0, 100.0, 117.0)
+
+
+def test_ablation_grid_size(benchmark):
+    fig = run_once(
+        benchmark, figures.ablation_gridsize, SIDES, 1.0, SCALE, SEED
+    )
+    print()
+    print(fig.to_text())
+
+    aen_end = dict(fig.series["aen_end"])
+    # Coarser grids burn no more energy than the finest grid: fewer
+    # gateways awake.
+    assert aen_end[100.0] <= aen_end[50.0] + 0.02
+
+    # Every configuration still routes.
+    for _, rate in fig.series["delivery_pct"]:
+        assert rate > 50.0
+
+    benchmark.extra_info.update(
+        aen_end={s: round(aen_end[s], 3) for s in SIDES},
+        delivery_pct=dict(
+            (s, round(v, 1)) for s, v in fig.series["delivery_pct"]
+        ),
+    )

@@ -1,0 +1,37 @@
+"""Ablation A1: ECGRID HELLO-period sweep.
+
+§4A attributes ECGRID's energy gap to GAF to HELLO maintenance
+traffic.  This ablation quantifies the knob: shorter periods mean more
+beacons (overhead energy, better freshness); longer periods save
+beacons but slow elections and staleness detection.
+"""
+
+from repro.experiments import figures
+
+from conftest import SCALE, SEED, run_once
+
+PERIODS = (1.0, 2.0, 4.0, 8.0)
+
+
+def test_ablation_hello_period(benchmark):
+    fig = run_once(
+        benchmark, figures.ablation_hello, PERIODS, 1.0, SCALE, SEED
+    )
+    print()
+    print(fig.to_text())
+
+    hello_counts = dict(fig.series["hello_sent"])
+    # Beacon volume decreases monotonically with the period.
+    counts = [hello_counts[p] for p in PERIODS]
+    assert all(a > b for a, b in zip(counts, counts[1:]))
+
+    # Delivery stays functional across the sweep.
+    for _, rate in fig.series["delivery_pct"]:
+        assert rate > 60.0
+
+    benchmark.extra_info.update(
+        hello_sent={p: int(hello_counts[p]) for p in PERIODS},
+        aen_end=dict(
+            (p, round(v, 3)) for p, v in fig.series["aen_end"]
+        ),
+    )

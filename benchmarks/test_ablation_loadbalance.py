@@ -1,0 +1,34 @@
+"""Ablation A2: ECGRID load-balance gateway rotation on/off (§3.2).
+
+Without rotation a gateway serves until it leaves or dies, so the
+first death comes earlier; rotation spreads the drain.
+"""
+
+from repro.experiments import figures
+
+from conftest import SCALE, SEED, run_once
+
+
+def test_ablation_load_balance(benchmark):
+    fig = run_once(
+        benchmark, figures.ablation_loadbalance, 1.0, SCALE, SEED
+    )
+    print()
+    print(fig.to_text())
+
+    first_death = dict(fig.series["first_death_s"])
+    alive_end = dict(fig.series["alive_end"])
+
+    # Both configurations complete and report.
+    assert set(first_death) == {0.0, 1.0}
+
+    # Rotation must not make things *worse* than no rotation by more
+    # than noise; typically it delays the first death.
+    assert first_death[1.0] >= first_death[0.0] * 0.8
+
+    benchmark.extra_info.update(
+        first_death_off=round(first_death[0.0], 1),
+        first_death_on=round(first_death[1.0], 1),
+        alive_end_off=round(alive_end[0.0], 3),
+        alive_end_on=round(alive_end[1.0], 3),
+    )

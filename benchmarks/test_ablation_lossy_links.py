@@ -1,0 +1,52 @@
+"""A7: robustness to lossy links (gray-zone fringe).
+
+The paper's ns-2 runs use a clean unit-disk channel.  Real 802.11
+links have a lossy fringe; this ablation checks that ECGRID's results
+survive it: link-layer retries plus the d <= sqrt(2)r/3 grid bound
+(which keeps gateway-to-gateway hops well inside the reliable core)
+should keep delivery high, at a modest energy premium for the
+retransmissions.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+from conftest import SCALE, SEED, run_once
+
+
+def _run(loss_model: str):
+    cfg = ExperimentConfig(
+        protocol="ecgrid", max_speed_mps=1.0, seed=SEED,
+        loss_model=loss_model,
+    ).scaled(SCALE)
+    cfg = replace(cfg, sim_time_s=118.0)
+    return run_experiment(cfg)
+
+
+def test_ecgrid_on_lossy_links(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {m: _run(m) for m in ("unit_disk", "gray_zone")},
+    )
+    clean, lossy = results["unit_disk"], results["gray_zone"]
+
+    print()
+    for name, r in results.items():
+        print(f"  {name:10s} delivery {r.delivery_rate * 100:5.1f}%  "
+              f"aen {r.aen.last():.3f}  "
+              f"mac retries {r.medium['frames_corrupted']}")
+
+    # Delivery survives the fringe (retries + conservative grid bound).
+    assert lossy.delivery_rate > clean.delivery_rate - 0.15
+    assert lossy.delivery_rate > 0.75
+    # Retransmissions cost something, not everything.
+    assert lossy.aen.last() <= clean.aen.last() * 1.25
+
+    benchmark.extra_info.update(
+        delivery_clean=round(clean.delivery_rate, 3),
+        delivery_lossy=round(lossy.delivery_rate, 3),
+        aen_clean=round(clean.aen.last(), 3),
+        aen_lossy=round(lossy.aen.last(), 3),
+    )

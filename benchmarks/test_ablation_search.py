@@ -1,0 +1,38 @@
+"""Ablation A4: RREQ search-area confinement (§3.3, GRID paper).
+
+The `range` field exists to "alleviate the broadcast storm problem":
+confining the flood to the S-D rectangle must cut forwarded RREQs
+versus global flooding without collapsing delivery.
+"""
+
+from repro.experiments import figures
+
+from conftest import SCALE, SEED, run_once
+
+POLICIES = ("bbox", "bbox_margin", "global")
+
+
+def test_ablation_search_policy(benchmark):
+    fig = run_once(
+        benchmark, figures.ablation_search_policy, POLICIES, 1.0, SCALE, SEED
+    )
+    print()
+    print(fig.to_text())
+
+    forwarded = {p: fig.results[p].counters.get("rreq_forwarded", 0)
+                 for p in POLICIES}
+    delivery = {p: fig.results[p].delivery_rate for p in POLICIES}
+
+    # Confinement suppresses the storm: bbox forwards no more RREQs
+    # than global flooding.
+    assert forwarded["bbox"] <= forwarded["global"]
+    assert forwarded["bbox_margin"] <= forwarded["global"]
+
+    # And it does not collapse delivery.
+    for p in POLICIES:
+        assert delivery[p] > 0.75, (p, delivery[p])
+
+    benchmark.extra_info.update(
+        rreq_forwarded=forwarded,
+        delivery={p: round(v, 3) for p, v in delivery.items()},
+    )

@@ -1,0 +1,64 @@
+"""A9: where the energy goes — mode breakdown per protocol.
+
+The paper's entire argument in one table: under identical workloads,
+GRID spends essentially all node-time idling at 830 mW, while ECGRID
+converts most of that time into 130 mW sleep.  TX/RX are rounding
+errors by comparison — which is why transmit-power optimizations
+(the §1 related work) cannot save an idle-listening network.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_network
+from repro.metrics.modes import ModeTracker
+
+from conftest import SCALE, SEED, run_once
+
+HORIZON_S = 90.0   # while everyone is alive
+
+
+def _breakdown(protocol: str):
+    cfg = ExperimentConfig(
+        protocol=protocol, max_speed_mps=1.0, seed=SEED
+    ).scaled(SCALE)
+    cfg = replace(cfg, sim_time_s=HORIZON_S)
+    network = build_network(cfg)
+    tracker = ModeTracker(network.sim, network.nodes)
+    network.run(until=HORIZON_S)
+    return tracker.mode_shares(), tracker.energy_shares(
+        network.config.profile
+    )
+
+
+def _run_all():
+    return {p: _breakdown(p) for p in ("grid", "ecgrid", "gaf")}
+
+
+def test_energy_breakdown(benchmark):
+    results = run_once(benchmark, _run_all)
+
+    print()
+    for proto, (time_shares, energy_shares) in results.items():
+        t = {k: f"{v * 100:.1f}%" for k, v in sorted(time_shares.items())}
+        print(f"  {proto:8s} time {t}")
+
+    grid_t, grid_e = results["grid"]
+    ec_t, ec_e = results["ecgrid"]
+    gaf_t, _ = results["gaf"]
+
+    # GRID: idle dominates both time and energy.
+    assert grid_t.get("idle", 0.0) > 0.9
+    assert grid_e.get("idle", 0.0) > 0.9
+    # ECGRID and GAF convert a solid share of time into sleep.
+    assert ec_t.get("sleep", 0.0) > 0.2
+    assert gaf_t.get("sleep", 0.0) > 0.2
+    # TX+RX stay a small share of time everywhere (the paper's point:
+    # idle listening, not traffic, is the killer).
+    for proto, (t, _e) in results.items():
+        assert t.get("tx", 0.0) + t.get("rx", 0.0) < 0.15, proto
+
+    benchmark.extra_info.update({
+        proto: {k: round(v, 3) for k, v in t.items()}
+        for proto, (t, _) in results.items()
+    })

@@ -1,0 +1,62 @@
+"""A8: extended protocol faceoff — the whole family on one workload.
+
+Beyond the paper's three protocols, this runs every baseline in the
+repository under the Figure-4 workload and checks the global energy
+story: the sleeping protocols (ECGRID, GAF, Span) outlive the
+always-on ones (GRID, AODV, DSDV), whose networks all die on the idle
+schedule regardless of routing style.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+from conftest import SCALE, SEED, run_once
+
+ALWAYS_ON = ("grid", "aodv", "dsdv")
+SLEEPERS = ("ecgrid", "gaf", "span")
+
+
+def _run_all():
+    out = {}
+    for proto in ALWAYS_ON + SLEEPERS:
+        cfg = ExperimentConfig(
+            protocol=proto, max_speed_mps=1.0, seed=SEED
+        ).scaled(SCALE)
+        out[proto] = run_experiment(cfg)
+    return out
+
+
+def test_family_faceoff(benchmark):
+    runs = run_once(benchmark, _run_all)
+
+    def down(r):
+        t = r.alive_fraction.first_time_below(0.05)
+        return t if t is not None else r.config.sim_time_s
+
+    print()
+    for proto, r in runs.items():
+        print(f"  {proto:8s} down={down(r):6.0f}s "
+              f"deliv(pre-death)={r.delivery_rate_pre_death * 100:5.1f}% "
+              f"aen@72={r.aen_at(72.0):.3f}")
+
+    idle_death = runs["grid"].config.initial_energy_j / 0.863
+
+    # Always-on protocols die on the idle schedule (within 15%),
+    # regardless of how clever their routing is.
+    for proto in ALWAYS_ON:
+        assert down(runs[proto]) == pytest.approx(idle_death, rel=0.15), proto
+
+    # Every sleeping protocol outlives every always-on one.
+    worst_sleeper = min(down(runs[p]) for p in SLEEPERS)
+    best_always_on = max(down(runs[p]) for p in ALWAYS_ON)
+    assert worst_sleeper > best_always_on * 1.2
+
+    # And everyone still routes while alive.
+    for proto, r in runs.items():
+        assert r.delivery_rate_pre_death > 0.7, proto
+
+    benchmark.extra_info.update(
+        down_times={p: round(down(r), 1) for p, r in runs.items()},
+    )

@@ -1,0 +1,57 @@
+"""Figure 8: alive-host fraction across host densities (GRID vs ECGRID).
+
+Paper claims (§4D):
+
+- GRID's network lifetime is independent of density (no conservation);
+- ECGRID's lifetime *increases* with density (only one gateway per grid
+  is awake, so more hosts per grid means more sleepers sharing turns);
+- higher speed improves load balance (later first deaths at high
+  density) but shortens overall lifetime (handoff overhead).
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+from conftest import SCALE, SEED, run_once
+
+DENSITIES = (50, 100, 200)
+
+
+@pytest.mark.parametrize("speed", [1.0, 10.0], ids=["1mps", "10mps"])
+def test_fig8_density_sweep(benchmark, speed):
+    fig = run_once(
+        benchmark, figures.fig8, speed, SCALE, SEED, DENSITIES
+    )
+    print()
+    print(fig.to_text())
+
+    def down_time(result, frac=0.5):
+        t = result.alive_fraction.first_time_below(frac)
+        return t if t is not None else result.config.sim_time_s
+
+    grid_downs = []
+    ecgrid_downs = []
+    for label, r in fig.results.items():
+        if label.startswith("grid"):
+            grid_downs.append((r.config.n_hosts, down_time(r)))
+        else:
+            ecgrid_downs.append((r.config.n_hosts, down_time(r)))
+    grid_downs.sort()
+    ecgrid_downs.sort()
+
+    # GRID: lifetime flat across densities (within 15%).
+    g_times = [t for _, t in grid_downs]
+    assert max(g_times) / min(g_times) < 1.15
+
+    # ECGRID: half-alive time grows monotonically-ish with density;
+    # require densest >= sparsest * 1.2 and >= GRID everywhere.
+    e_times = [t for _, t in ecgrid_downs]
+    assert e_times[-1] > e_times[0] * 1.2
+    for (n, e_t), (_, g_t) in zip(ecgrid_downs, grid_downs):
+        assert e_t >= g_t * 0.95, (n, e_t, g_t)
+
+    benchmark.extra_info.update(
+        grid_half_dead_s={n: round(t, 1) for n, t in grid_downs},
+        ecgrid_half_dead_s={n: round(t, 1) for n, t in ecgrid_downs},
+    )

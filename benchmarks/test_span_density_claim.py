@@ -1,0 +1,66 @@
+"""A6: the paper's §1 claim about Span, quantified.
+
+"In a location-aware scheme, such as ECGRID or GAF, more energy can be
+saved when host density is higher ... On the contrary, Span (not
+location-aware) does not benefit from increasing host density."
+
+We sweep density and compare each protocol's energy saving relative to
+the always-on GRID baseline.  ECGRID's saving must grow with density;
+Span's must stay roughly flat (its duty cycle is per-node, not
+per-grid).
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+from conftest import SCALE, SEED, run_once
+
+DENSITIES = (50, 150)   # pre-scale host counts: sparse vs dense
+HORIZON_S = 90.0        # measure aen while everyone is alive
+
+
+def _aen(protocol: str, n_hosts: int) -> float:
+    cfg = ExperimentConfig(
+        protocol=protocol, n_hosts=n_hosts, max_speed_mps=1.0, seed=SEED
+    ).scaled(SCALE)
+    cfg = replace(cfg, sim_time_s=HORIZON_S)
+    return run_experiment(cfg).aen.last()
+
+
+def _savings():
+    out = {}
+    for n in DENSITIES:
+        base = _aen("grid", n)
+        out[n] = {
+            "ecgrid": 1.0 - _aen("ecgrid", n) / base,
+            "span": 1.0 - _aen("span", n) / base,
+        }
+    return out
+
+
+def test_span_saving_is_density_independent(benchmark):
+    savings = run_once(benchmark, _savings)
+    sparse, dense = DENSITIES
+
+    print()
+    for n in DENSITIES:
+        print(f"  n={n}: saving vs GRID  "
+              f"ecgrid {savings[n]['ecgrid'] * 100:5.1f}%   "
+              f"span {savings[n]['span'] * 100:5.1f}%")
+
+    # ECGRID's saving grows with density.
+    assert savings[dense]["ecgrid"] > savings[sparse]["ecgrid"] + 0.03
+
+    # Span's saving moves far less with density than ECGRID's does.
+    span_delta = abs(savings[dense]["span"] - savings[sparse]["span"])
+    ecgrid_delta = savings[dense]["ecgrid"] - savings[sparse]["ecgrid"]
+    assert span_delta < ecgrid_delta
+
+    benchmark.extra_info.update(
+        savings={
+            str(n): {k: round(v, 3) for k, v in s.items()}
+            for n, s in savings.items()
+        }
+    )

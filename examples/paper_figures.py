@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure in one go and export CSVs.
+
+The one-stop reproduction script: runs Figures 4–8 (both speeds where
+the paper shows both) at the requested scale, prints each as a table,
+and drops CSVs into ``--out`` for external plotting.  With
+``--seeds N`` each curve is the mean over N seeds.
+
+    python examples/paper_figures.py --scale 0.2 --out out/
+    python examples/paper_figures.py --scale 1.0          # paper scale
+"""
+
+import argparse
+import os
+
+from repro.experiments import figures
+from repro.experiments.export import figure_to_csv
+from repro.experiments.stats import replicate_figure
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=0.2)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--seeds", type=int, default=1)
+    ap.add_argument("--out", default=None, help="directory for CSV export")
+    ap.add_argument("--speeds", type=float, nargs="+", default=[1.0, 10.0])
+    args = ap.parse_args()
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+
+    jobs = []
+    for speed in args.speeds:
+        jobs += [
+            (f"fig4_speed{speed:g}", figures.fig4, dict(speed=speed)),
+            (f"fig5_speed{speed:g}", figures.fig5, dict(speed=speed)),
+            (f"fig6_speed{speed:g}", figures.fig6, dict(speed=speed)),
+            (f"fig7_speed{speed:g}", figures.fig7, dict(speed=speed)),
+            (f"fig8_speed{speed:g}", figures.fig8, dict(speed=speed)),
+        ]
+
+    for name, fn, kwargs in jobs:
+        print(f"\n=== {name} (scale {args.scale}) ===")
+        if args.seeds > 1:
+            fig = replicate_figure(
+                fn,
+                seeds=range(args.seed, args.seed + args.seeds),
+                scale=args.scale,
+                **kwargs,
+            )
+        else:
+            fig = fn(scale=args.scale, seed=args.seed, **kwargs)
+        print(fig.to_text())
+        if args.out:
+            path = os.path.join(args.out, f"{name}.csv")
+            with open(path, "w") as fh:
+                fh.write(figure_to_csv(fig))
+            print(f"-> {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run ECGRID on a small MANET and read the results.
+
+This is the 60-second tour of the public API: configure a scenario,
+run it, inspect delivery / latency / energy, and peek at the protocol
+counters.  Scale up ``n_hosts``/``sim_time_s`` toward the paper's
+values (100 hosts, 2000 s) when you have a minute to spare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        protocol="ecgrid",      # or "grid", "gaf", "flooding"
+        n_hosts=40,
+        width_m=650.0,
+        height_m=650.0,
+        max_speed_mps=1.0,      # paper speed range (a)
+        pause_time_s=0.0,       # constant mobility
+        n_flows=4,
+        flow_rate_pps=1.0,
+        initial_energy_j=200.0,
+        sim_time_s=300.0,
+        seed=42,
+    )
+    print(f"running: {config.describe()}")
+    result = run_experiment(config)
+
+    print()
+    print(result.summary())
+
+    print()
+    print("alive-host fraction over time:")
+    for t, frac in result.alive_fraction.rows()[::3]:
+        bar = "#" * int(frac * 40)
+        print(f"  t={t:6.0f}s  {frac:5.2f}  {bar}")
+
+    print()
+    print("protocol activity:")
+    for key in (
+        "gateway_elections",
+        "gateway_moves",
+        "load_balance_retirements",
+        "sleeps",
+        "pages_sent",
+        "hello_sent",
+        "rreq_originated",
+    ):
+        print(f"  {key:28s} {result.counters.get(key, 0)}")
+
+
+if __name__ == "__main__":
+    main()

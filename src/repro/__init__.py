@@ -1,0 +1,78 @@
+"""repro — reproduction of "Energy-Conserving Grid Routing Protocol in
+Mobile Ad Hoc Networks" (Chao, Sheu, Hu — ICPP 2003).
+
+The package is a full MANET simulation stack built for this paper:
+
+- :mod:`repro.des` — discrete-event kernel;
+- :mod:`repro.geo` / :mod:`repro.mobility` — grid geometry and analytic
+  random-waypoint mobility;
+- :mod:`repro.energy` / :mod:`repro.phy` / :mod:`repro.mac` — batteries,
+  radios, the shared medium, RAS paging, CSMA/CA;
+- :mod:`repro.core` — **ECGRID**, the paper's protocol;
+- :mod:`repro.protocols` — the GRID and GAF baselines (+ flooding);
+- :mod:`repro.experiments` — the harness regenerating Figures 4–8.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(protocol="ecgrid",
+                                             n_hosts=60,
+                                             sim_time_s=400.0))
+    print(result.summary())
+"""
+
+from repro.des import Simulator
+from repro.geo import GridMap, Vec2, max_grid_side
+from repro.energy import Battery, EnergyLevel, PAPER_PROFILE, PowerProfile, RadioMode
+from repro.mobility import RandomWaypoint, StaticPosition
+from repro.net import Network, NetworkConfig, Node, DataPacket
+from repro.protocols import ProtocolParams
+from repro.protocols.grid import GridProtocol
+from repro.protocols.gaf import GafParams, GafProtocol
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.aodv import AodvParams, AodvProtocol
+from repro.protocols.span import SpanParams, SpanProtocol
+from repro.protocols.dsdv import DsdvParams, DsdvProtocol
+from repro.core import EcGridProtocol
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "GridMap",
+    "Vec2",
+    "max_grid_side",
+    "Battery",
+    "EnergyLevel",
+    "PowerProfile",
+    "PAPER_PROFILE",
+    "RadioMode",
+    "RandomWaypoint",
+    "StaticPosition",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "DataPacket",
+    "ProtocolParams",
+    "EcGridProtocol",
+    "GridProtocol",
+    "GafProtocol",
+    "GafParams",
+    "AodvProtocol",
+    "AodvParams",
+    "SpanProtocol",
+    "SpanParams",
+    "DsdvProtocol",
+    "DsdvParams",
+    "FloodingProtocol",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate any paper figure or run ad-hoc
+experiments.
+
+Examples::
+
+    ecgrid run --protocol ecgrid --hosts 60 --time 400
+    ecgrid fig4 --speed 1 --scale 0.25
+    ecgrid fig8 --speed 10 --scale 0.2
+    ecgrid ablation-hello --scale 0.2
+    ecgrid fig4 --paper          # full paper-scale parameters (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig, PROTOCOLS
+from repro.experiments.runner import run_experiment
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--speed", type=float, default=1.0, help="max roaming speed (m/s)")
+    p.add_argument("--scale", type=float, default=0.25, help="scenario scale factor (0,1]")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--paper", action="store_true", help="force scale=1.0 (paper scale)")
+    p.add_argument("--csv", metavar="FILE", help="also write the figure as CSV")
+    p.add_argument("--json", metavar="FILE", help="also write the figure as JSON")
+    p.add_argument(
+        "--seeds", type=int, default=1,
+        help="replicate over N seeds (seed..seed+N-1) and average curves",
+    )
+
+
+def _scale(args) -> float:
+    return 1.0 if args.paper else args.scale
+
+
+def _figure(fn_name: str, args) -> "figures.FigureData":
+    fn = getattr(figures, fn_name)
+    kwargs = dict(speed=args.speed, scale=_scale(args))
+    seeds = getattr(args, "seeds", 1)
+    if seeds > 1:
+        from repro.experiments.stats import replicate_figure
+
+        return replicate_figure(
+            fn, seeds=range(args.seed, args.seed + seeds), **kwargs
+        )
+    return fn(seed=args.seed, **kwargs)
+
+
+FIGS: Dict[str, Callable] = {
+    "fig4": lambda a: _figure("fig4", a),
+    "fig5": lambda a: _figure("fig5", a),
+    "fig6": lambda a: _figure("fig6", a),
+    "fig7": lambda a: _figure("fig7", a),
+    "fig8": lambda a: _figure("fig8", a),
+    "ablation-hello": lambda a: _figure("ablation_hello", a),
+    "ablation-loadbalance": lambda a: _figure("ablation_loadbalance", a),
+    "ablation-gridsize": lambda a: _figure("ablation_gridsize", a),
+    "ablation-search": lambda a: _figure("ablation_search_policy", a),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ecgrid",
+        description="ECGRID (ICPP'03) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one ad-hoc experiment")
+    run_p.add_argument("--protocol", choices=PROTOCOLS, default="ecgrid")
+    run_p.add_argument("--hosts", type=int, default=100)
+    run_p.add_argument("--time", type=float, default=2000.0)
+    run_p.add_argument("--speed", type=float, default=1.0)
+    run_p.add_argument("--pause", type=float, default=0.0)
+    run_p.add_argument("--flows", type=int, default=10)
+    run_p.add_argument("--rate", type=float, default=1.0)
+    run_p.add_argument("--energy", type=float, default=500.0)
+    run_p.add_argument("--area", type=float, default=1000.0)
+    run_p.add_argument("--seed", type=int, default=1)
+
+    for name in FIGS:
+        fig_p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_common(fig_p)
+
+    watch_p = sub.add_parser(
+        "watch", help="run a scenario printing ASCII map snapshots"
+    )
+    watch_p.add_argument("--protocol", choices=PROTOCOLS, default="ecgrid")
+    watch_p.add_argument("--hosts", type=int, default=30)
+    watch_p.add_argument("--area", type=float, default=600.0)
+    watch_p.add_argument("--time", type=float, default=120.0)
+    watch_p.add_argument("--every", type=float, default=20.0)
+    watch_p.add_argument("--speed", type=float, default=1.0)
+    watch_p.add_argument("--energy", type=float, default=100.0)
+    watch_p.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "watch":
+        from repro.experiments.runner import build_network
+        from repro.experiments.snapshot import render
+
+        cfg = ExperimentConfig(
+            protocol=args.protocol,
+            n_hosts=args.hosts,
+            width_m=args.area,
+            height_m=args.area,
+            max_speed_mps=args.speed,
+            initial_energy_j=args.energy,
+            sim_time_s=args.time,
+            n_flows=max(2, args.hosts // 10),
+            seed=args.seed,
+        )
+        network = build_network(cfg)
+        network.start()
+        t = 0.0
+        while t < args.time:
+            t = min(t + args.every, args.time)
+            network.sim.run(until=t)
+            print(render(network))
+            print()
+        log = network.packet_log
+        print(f"delivery {log.delivery_rate() * 100:.1f}% "
+              f"({log.delivered_count}/{log.sent_count})")
+        return 0
+
+    if args.command == "run":
+        cfg = ExperimentConfig(
+            protocol=args.protocol,
+            n_hosts=args.hosts,
+            sim_time_s=args.time,
+            max_speed_mps=args.speed,
+            pause_time_s=args.pause,
+            n_flows=args.flows,
+            flow_rate_pps=args.rate,
+            initial_energy_j=args.energy,
+            width_m=args.area,
+            height_m=args.area,
+            seed=args.seed,
+        )
+        result = run_experiment(cfg)
+        print(result.summary())
+        return 0
+
+    fig = FIGS[args.command](args)
+    print(fig.to_text())
+    if getattr(args, "csv", None):
+        from repro.experiments.export import figure_to_csv
+
+        with open(args.csv, "w") as fh:
+            fh.write(figure_to_csv(fig))
+        print(f"wrote {args.csv}")
+    if getattr(args, "json", None):
+        from repro.experiments.export import figure_to_json
+
+        with open(args.json, "w") as fh:
+            fh.write(figure_to_json(fig))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

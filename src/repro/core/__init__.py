@@ -1,0 +1,40 @@
+"""ECGRID — the paper's contribution — and the grid-protocol machinery
+it shares with the GRID baseline.
+
+Public entry point: :class:`repro.core.protocol.EcGridProtocol`.
+"""
+
+from repro.core.messages import (
+    Acq,
+    DataEnvelope,
+    Hello,
+    Leave,
+    Retire,
+    Rerr,
+    Rrep,
+    Rreq,
+    SleepNotify,
+    TablesTransfer,
+)
+from repro.core.tables import HostTable, RouteEntry, RoutingTable
+from repro.core.election import Candidate, elect
+from repro.core.protocol import EcGridProtocol
+
+__all__ = [
+    "Hello",
+    "Retire",
+    "Leave",
+    "Acq",
+    "SleepNotify",
+    "TablesTransfer",
+    "Rreq",
+    "Rrep",
+    "Rerr",
+    "DataEnvelope",
+    "RouteEntry",
+    "RoutingTable",
+    "HostTable",
+    "Candidate",
+    "elect",
+    "EcGridProtocol",
+]

@@ -1,0 +1,539 @@
+"""Shared machinery of the grid protocol family (GRID and ECGRID).
+
+This class implements everything §3 of the paper describes that is not
+specific to sleeping: HELLO beaconing, the distributed gateway election
+(rules 1–3 and the election algorithm of §3.1), gateway maintenance on
+mobility (§3.2: newcomer handling, takeover, RETIRE handoff, LEAVE
+notifications, no-gateway detection), and neighbor-gateway tracking.
+Route discovery and data forwarding live in
+:class:`repro.core.routing.GridRoutingMixin`; the ECGRID energy
+machinery (sleep/wake, RAS paging, ACQ, load balancing) lives in
+:class:`repro.core.protocol.EcGridProtocol`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.election import Candidate, beats, elect
+from repro.core.messages import (
+    Acq,
+    DataEnvelope,
+    Hello,
+    Leave,
+    Retire,
+    Rerr,
+    Rrep,
+    Rreq,
+    SleepNotify,
+    TablesTransfer,
+)
+from repro.core.tables import HostTable, RoutingTable
+from repro.des.timer import PeriodicTimer, Timer
+from repro.geo.grid import GridCoord
+from repro.metrics.collectors import Counters
+from repro.net.packet import BROADCAST, Message
+from repro.protocols.base import ProtocolParams, RoutingProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class Role(enum.Enum):
+    GATEWAY = "gateway"
+    ACTIVE = "active"
+    SLEEPING = "sleeping"
+    DEAD = "dead"
+
+
+class GridProtocolBase(RoutingProtocol):
+    """Common behaviour of GRID-family protocols.
+
+    Subclass knobs:
+
+    - ``energy_aware``: election rule 1 considers battery bands (ECGRID)
+      or not (GRID elects purely by distance-to-center + ID).
+    - ``uses_ras``: whether RETIRE handoffs first wake the grid with the
+      RAS broadcast sequence (pointless when nobody sleeps).
+    """
+
+    name = "grid-base"
+    energy_aware = True
+    uses_ras = True
+
+    def __init__(
+        self,
+        node: "Node",
+        params: ProtocolParams,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        super().__init__(node, params)
+        self.counters = counters if counters is not None else Counters()
+        self.rng = node.sim.rng.stream(f"proto-{node.id}")
+
+        self.role = Role.ACTIVE
+        self.my_cell: GridCoord = node.cell()
+        self.my_gateway: Optional[int] = None
+        self.my_gateway_level = None
+
+        self.routing = RoutingTable()
+        self.hosts = HostTable()
+        #: cell -> (gateway id, last heard time)
+        self.neighbor_gateways: Dict[GridCoord, Tuple[int, float]] = {}
+        #: own-cell peers: id -> (Candidate, last heard time)
+        self.cell_peers: Dict[int, Tuple[Candidate, float]] = {}
+
+        self.hello_timer = PeriodicTimer(
+            node.sim,
+            self._hello_tick,
+            params.hello_period_s,
+            jitter=lambda: self.rng.uniform(
+                -params.hello_jitter_s, params.hello_jitter_s
+            ),
+        )
+        #: Waits for a gateway HELLO; expiry = no-gateway event (§3.2).
+        self.watch_timer = Timer(node.sim, self._on_watch_expired)
+        self._last_hello_sent = -1e9
+        self._retiring = False
+        self._inherited_host_table = False
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.node.sim
+
+    @property
+    def now(self) -> float:
+        return self.node.sim.now
+
+    @property
+    def is_gateway(self) -> bool:
+        return self.role is Role.GATEWAY
+
+    def self_candidate(self) -> Candidate:
+        return Candidate(
+            self.node.id, self.node.energy_level(), self.node.dist_to_center()
+        )
+
+    def _peer_fresh_cutoff(self) -> float:
+        return self.now - self.params.hello_period_s * self.params.hello_loss_tolerance
+
+    def fresh_peers(self):
+        cutoff = self._peer_fresh_cutoff()
+        return [c for c, t in self.cell_peers.values() if t >= cutoff]
+
+    # ------------------------------------------------------------------
+    # Send helpers
+    # ------------------------------------------------------------------
+    def _broadcast(self, message: Message) -> None:
+        self.node.mac.send(message, BROADCAST)
+
+    def _unicast(self, message: Message, dst: int, on_ok=None, on_fail=None) -> None:
+        self.node.mac.send(message, dst, on_ok=on_ok, on_fail=on_fail)
+
+    def _send_hello(self) -> None:
+        self._last_hello_sent = self.now
+        self.counters.inc("hello_sent")
+        me = self.self_candidate()
+        self._broadcast(
+            Hello(
+                id=self.node.id,
+                cell=self.my_cell,
+                gflag=self.is_gateway,
+                level=me.level,
+                dist=me.dist,
+            )
+        )
+
+    def _hello_soon(self, max_jitter: float = 0.1) -> None:
+        """An extra, jittered HELLO outside the periodic schedule
+        (election rounds, newcomer announcements)."""
+        self.sim.after(self.rng.uniform(0.0, max_jitter), self._hello_now)
+
+    def _hello_now(self) -> None:
+        if self.role not in (Role.ACTIVE, Role.GATEWAY):
+            return
+        # Several _hello_soon() requests can be queued before the first
+        # fires; suppress the pile-up at fire time.
+        if self.now - self._last_hello_sent < 0.1 * self.params.hello_period_s:
+            return
+        self._send_hello()
+
+    def _hello_response(self) -> None:
+        """Gateway answers a newcomer's HELLO (rate limited so a burst
+        of arrivals doesn't cause a beacon storm)."""
+        if self.now - self._last_hello_sent >= 0.25 * self.params.hello_period_s:
+            self._hello_soon(0.05)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.my_cell = self.node.cell()
+        self.role = Role.ACTIVE
+        # All hosts beacon during the initial HELLO period, then decide.
+        self.hello_timer.start(
+            initial_delay=self.rng.uniform(0.0, 0.8 * self.params.hello_period_s)
+        )
+        self.watch_timer.start(
+            self.params.hello_period_s * (1.0 + self.rng.uniform(0.05, 0.25))
+        )
+
+    def on_death(self) -> None:
+        self.role = Role.DEAD
+        self.hello_timer.stop()
+        self.watch_timer.cancel()
+        self._routing_on_death()
+
+    def _routing_on_death(self) -> None:
+        """Overridden by the routing mixin to drop buffered packets."""
+
+    def _hello_tick(self) -> None:
+        if self.role not in (Role.ACTIVE, Role.GATEWAY):
+            self.hello_timer.stop()
+            return
+        self._gateway_periodic_checks()
+        self._send_hello()
+
+    def _gateway_periodic_checks(self) -> None:
+        """Hook: ECGRID's pre-death retirement check runs here."""
+
+    # ------------------------------------------------------------------
+    # Election
+    # ------------------------------------------------------------------
+    def _decide_election(self) -> None:
+        """Apply the gateway election rules over self + fresh peers."""
+        if self.role is not Role.ACTIVE:
+            return
+        candidates = self.fresh_peers()
+        candidates.append(self.self_candidate())
+        winner = elect(candidates, self.energy_aware)
+        if winner is not None and winner.id == self.node.id:
+            self.become_gateway()
+        else:
+            # Wait for the winner's gflag HELLO; if it never comes
+            # (winner moved/died), the watch re-runs the election.
+            self.watch_timer.start(
+                self.params.hello_period_s * (1.0 + self.rng.uniform(0.0, 0.3))
+            )
+
+    def _on_watch_expired(self) -> None:
+        """No gateway HELLO within tolerance: the paper's no-gateway
+        event.  With no live peers we are alone and declare ourselves;
+        otherwise we re-run the election on what we have heard."""
+        if self.role is not Role.ACTIVE:
+            return
+        self.counters.inc("no_gateway_events")
+        if not self.fresh_peers():
+            self.become_gateway()
+        else:
+            self._hello_soon()
+            self._decide_election()
+
+    def become_gateway(
+        self,
+        rtab_snapshot=None,
+        htab_snapshot=None,
+    ) -> None:
+        if self.role is Role.DEAD:
+            return
+        self.role = Role.GATEWAY
+        self.my_gateway = self.node.id
+        self.my_gateway_level = self.node.energy_level()
+        self.watch_timer.cancel()
+        if rtab_snapshot:
+            self.routing.load_snapshot(
+                rtab_snapshot, self.now, self.params.route_lifetime_s
+            )
+        if htab_snapshot:
+            self.hosts.load_snapshot(htab_snapshot)
+        self._inherited_host_table = bool(htab_snapshot)
+        # Seed the host table with recently heard grid-mates.
+        for cand in self.fresh_peers():
+            self.hosts.mark_active(cand.id)
+        self.hosts.mark_active(self.node.id)
+        self.counters.inc("gateway_elections")
+        if not self.hello_timer.running:
+            self.hello_timer.start(initial_delay=self.params.hello_period_s)
+        # Declare immediately: informs grid members and the neighbors.
+        self._send_hello()
+        self._on_became_gateway()
+
+    def _on_became_gateway(self) -> None:
+        """Hook for subclasses (ECGRID flushes pending work)."""
+
+    def demote_to_active(self) -> None:
+        """Stop being the gateway (lost a conflict or retired)."""
+        if self.role is Role.GATEWAY:
+            self.role = Role.ACTIVE
+            self.hosts.clear()
+            self.my_gateway = None
+            self.my_gateway_level = None
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message, sender_id: int) -> None:
+        if self.role is Role.DEAD:
+            return
+        if isinstance(message, Hello):
+            self._on_hello(message)
+        elif isinstance(message, DataEnvelope):
+            self._on_envelope(message, sender_id)
+        elif isinstance(message, Rreq):
+            self._on_rreq(message)
+        elif isinstance(message, Rrep):
+            self._on_rrep(message)
+        elif isinstance(message, Rerr):
+            self._on_rerr(message)
+        elif isinstance(message, Retire):
+            self._on_retire(message)
+        elif isinstance(message, TablesTransfer):
+            self._on_tables_transfer(message)
+        elif isinstance(message, Leave):
+            self._on_leave(message)
+        elif isinstance(message, SleepNotify):
+            self._on_sleep_notify(message)
+        elif isinstance(message, Acq):
+            self._on_acq(message, sender_id)
+
+    # -- HELLO ----------------------------------------------------------
+    def _on_hello(self, h: Hello) -> None:
+        now = self.now
+        if h.cell != self.my_cell:
+            if h.gflag:
+                self.neighbor_gateways[h.cell] = (h.id, now)
+                # A stale same-cell record for this host is gone.
+                self.cell_peers.pop(h.id, None)
+            return
+
+        self.cell_peers[h.id] = (Candidate(h.id, h.level, h.dist), now)
+
+        if h.gflag:
+            self.neighbor_gateways[h.cell] = (h.id, now)
+            if self.is_gateway and h.id != self.node.id:
+                self._resolve_gateway_conflict(h)
+                return
+            first_sighting = self.my_gateway != h.id
+            self._set_my_gateway(h)
+            if self.role is Role.ACTIVE:
+                self._consider_takeover(h)
+                if self.role is Role.ACTIVE:
+                    self._on_gateway_known(first_sighting)
+        else:
+            if self.is_gateway:
+                newcomer = not self.hosts.is_known(h.id)
+                self.hosts.mark_active(h.id)
+                if newcomer:
+                    # §3.2: the gateway answers a newcomer's HELLO.
+                    self._hello_response()
+                    self._member_registered(h.id)
+
+    def _set_my_gateway(self, h: Hello) -> None:
+        self.my_gateway = h.id
+        self.my_gateway_level = h.level
+        if self.role is Role.ACTIVE:
+            self.watch_timer.start(
+                self.params.hello_period_s * self.params.hello_loss_tolerance
+            )
+
+    def _consider_takeover(self, gw_hello: Hello) -> None:
+        """§3.2 case 1: an incoming host replaces the gateway only with a
+        *strictly higher* battery band (prevents replacement churn)."""
+        if not self.energy_aware:
+            return
+        if self.node.energy_level() > gw_hello.level:
+            self.counters.inc("gateway_takeovers")
+            self.become_gateway()
+
+    def _on_gateway_known(self, first_sighting: bool) -> None:
+        """Hook: ECGRID puts idle non-gateways to sleep here."""
+
+    def _resolve_gateway_conflict(self, other: Hello) -> None:
+        """Two gateways in one grid (merge or duplicate election): the
+        election rules decide; the loser hands over its tables."""
+        me = self.self_candidate()
+        them = Candidate(other.id, other.level, other.dist)
+        if beats(me, them, self.energy_aware):
+            # Re-assert; the other side demotes on hearing us.
+            self._hello_response()
+            return
+        self.counters.inc("gateway_conflicts_lost")
+        transfer = TablesTransfer(
+            cell=self.my_cell,
+            rtab=self.routing.snapshot(),
+            htab=self.hosts.snapshot(),
+        )
+        self._unicast(transfer, other.id)
+        self.demote_to_active()
+        self._set_my_gateway(other)
+        self._after_demotion()
+
+    def _after_demotion(self) -> None:
+        """Hook: ECGRID goes to sleep after losing a conflict."""
+
+    # -- membership messages ---------------------------------------------
+    def _on_tables_transfer(self, msg: TablesTransfer) -> None:
+        if msg.cell != self.my_cell:
+            return
+        if self.is_gateway:
+            self.routing.load_snapshot(
+                msg.rtab, self.now, self.params.route_lifetime_s
+            )
+            self.hosts.load_snapshot(msg.htab)
+            self.hosts.mark_active(self.node.id)
+
+    def _on_leave(self, msg: Leave) -> None:
+        if self.is_gateway:
+            self.hosts.remove(msg.id)
+            self._reroute_host_buffer(msg.id)
+
+    def _on_sleep_notify(self, msg: SleepNotify) -> None:
+        if self.is_gateway:
+            self.hosts.mark_sleeping(msg.id)
+
+    def _on_acq(self, msg: Acq, sender_id: int) -> None:
+        """Hook: only the ECGRID gateway answers ACQ (§3.3)."""
+
+    # -- RETIRE -----------------------------------------------------------
+    def _on_retire(self, msg: Retire) -> None:
+        if msg.cell != self.my_cell:
+            gw = self.neighbor_gateways.get(msg.cell)
+            if gw is not None and gw[0] == msg.gateway_id:
+                del self.neighbor_gateways[msg.cell]
+            return
+        # §3.2: store the routing table and elect a new gateway.
+        self.routing.load_snapshot(msg.rtab, self.now, self.params.route_lifetime_s)
+        if self.my_gateway == msg.gateway_id:
+            self.my_gateway = None
+            self.my_gateway_level = None
+        self.cell_peers.pop(msg.gateway_id, None)
+        if self.role is Role.ACTIVE:
+            self._hello_soon()
+            self.watch_timer.start(
+                0.5 * self.params.hello_period_s
+                * (1.0 + self.rng.uniform(0.0, 0.3))
+            )
+
+    # ------------------------------------------------------------------
+    # Mobility (§3.2 "Gateway Maintenance")
+    # ------------------------------------------------------------------
+    def on_cell_changed(self, old_cell: GridCoord, new_cell: GridCoord) -> None:
+        if self.role is Role.DEAD:
+            return
+        if self.role is Role.SLEEPING:
+            # A sleeping host acts on its dwell timer, not on GPS
+            # interrupts (§3.2); the medium's bucket was updated by the
+            # node already.
+            return
+        self.my_cell = new_cell
+        self.cell_peers.clear()
+        if self.role is Role.GATEWAY:
+            self._retire_because_leaving(old_cell)
+        else:
+            if self.my_gateway is not None and self.my_gateway != self.node.id:
+                self.counters.inc("leave_sent")
+                self._unicast(Leave(id=self.node.id, cell=old_cell), self.my_gateway)
+            self.enter_grid_as_newcomer()
+
+    def _retire_because_leaving(self, old_cell: GridCoord) -> None:
+        """The departing gateway wakes its grid, waits tau, then
+        broadcasts RETIRE with its tables (§3.2)."""
+        self.counters.inc("gateway_moves")
+        self._retiring = True
+        if self.uses_ras:
+            self.node.ras.page_grid(self.node.radio, old_cell)
+        rtab = self.routing.snapshot()
+        htab = self.hosts.snapshot()
+        htab.pop(self.node.id, None)
+        retire = Retire(
+            cell=old_cell, gateway_id=self.node.id, rtab=rtab, htab=htab
+        )
+        self.sim.after(self.params.retire_wait_s, self._finish_retire_move, retire)
+
+    def _finish_retire_move(self, retire: Retire) -> None:
+        if self.role is Role.DEAD:
+            return
+        self._broadcast(retire)
+        self._retiring = False
+        self.demote_to_active()
+        # §3.4 case 3: any personal route whose next grid no longer
+        # neighbors us is re-pointed through the grid we just left (its
+        # new gateway inherited our table via RETIRE), trading one
+        # extra hop for route continuity.
+        redirected = self.routing.redirect_non_adjacent(
+            self.node.cell(), retire.cell
+        )
+        if redirected:
+            self.counters.inc("routes_redirected_via_old_grid", redirected)
+        self.enter_grid_as_newcomer()
+
+    def retire_in_place(self) -> None:
+        """Hand off without leaving (load balance / imminent death)."""
+        if not self.is_gateway or self._retiring:
+            return
+        self.counters.inc("gateway_retirements")
+        self._retiring = True
+        if self.uses_ras:
+            self.node.ras.page_grid(self.node.radio, self.my_cell)
+        rtab = self.routing.snapshot()
+        htab = self.hosts.snapshot()
+        htab.pop(self.node.id, None)
+        retire = Retire(
+            cell=self.my_cell, gateway_id=self.node.id, rtab=rtab, htab=htab
+        )
+        self.sim.after(self.params.retire_wait_s, self._finish_retire_in_place, retire)
+
+    def _finish_retire_in_place(self, retire: Retire) -> None:
+        if self.role is Role.DEAD:
+            return
+        self._broadcast(retire)
+        self._retiring = False
+        self.demote_to_active()
+        # Participate in the election we just triggered.
+        self._hello_soon()
+        self.watch_timer.start(
+            0.5 * self.params.hello_period_s * (1.0 + self.rng.uniform(0.0, 0.3))
+        )
+
+    def enter_grid_as_newcomer(self) -> None:
+        """§3.2 'hosts move into a new grid': broadcast HELLO; if no
+        gateway answers within a HELLO period, the grid is empty and we
+        declare ourselves."""
+        self.role = Role.ACTIVE
+        self.my_gateway = None
+        self.my_gateway_level = None
+        self.my_cell = self.node.cell()
+        if not self.hello_timer.running:
+            self.hello_timer.start(initial_delay=self.params.hello_period_s)
+        self._hello_soon(0.05)
+        self.watch_timer.start(
+            self.params.hello_period_s * (1.0 + self.rng.uniform(0.05, 0.25))
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks the routing mixin provides
+    # ------------------------------------------------------------------
+    def _on_envelope(self, env: DataEnvelope, sender_id: int) -> None:
+        raise NotImplementedError
+
+    def _on_rreq(self, msg: Rreq) -> None:
+        raise NotImplementedError
+
+    def _on_rrep(self, msg: Rrep) -> None:
+        raise NotImplementedError
+
+    def _on_rerr(self, msg: Rerr) -> None:
+        raise NotImplementedError
+
+    def _flush_host_buffer(self, host_id: int) -> None:
+        raise NotImplementedError
+
+    def _member_registered(self, host_id: int) -> None:
+        raise NotImplementedError
+
+    def _reroute_host_buffer(self, host_id: int) -> None:
+        raise NotImplementedError

@@ -1,0 +1,61 @@
+"""Gateway election rules (paper §3, "Gateway election rules").
+
+Priority order:
+
+1. higher battery-level band (upper > boundary > lower);
+2. among the highest band, smallest distance to the grid center
+   (a central host likely stays in the grid longest);
+3. smallest host ID as the final tiebreak.
+
+The GRID baseline elects purely by rule 2+3 (it is not energy-aware);
+``energy_aware=False`` reproduces that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.energy.profile import EnergyLevel
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One contender, as advertised in its HELLO message."""
+
+    id: int
+    level: EnergyLevel
+    dist: float
+
+    def key(self, energy_aware: bool = True):
+        """Sort key: maximal key wins the election.
+
+        ``-dist`` prefers hosts nearer the grid center; ``-id`` makes
+        the smallest ID win the final tiebreak.
+        """
+        level = int(self.level) if energy_aware else 0
+        return (level, -self.dist, -self.id)
+
+
+def elect(
+    candidates: Iterable[Candidate], energy_aware: bool = True
+) -> Optional[Candidate]:
+    """The winner under the paper's rules, or None with no candidates.
+
+    Deterministic: every host evaluating the same candidate set picks
+    the same winner, which is what makes the distributed election
+    converge without a coordinator.
+    """
+    best: Optional[Candidate] = None
+    best_key = None
+    for cand in candidates:
+        k = cand.key(energy_aware)
+        if best_key is None or k > best_key:
+            best = cand
+            best_key = k
+    return best
+
+
+def beats(a: Candidate, b: Candidate, energy_aware: bool = True) -> bool:
+    """True if candidate ``a`` outranks ``b`` under the election rules."""
+    return a.key(energy_aware) > b.key(energy_aware)

@@ -1,0 +1,517 @@
+"""Grid-by-grid route discovery and data forwarding (paper §3.3–3.4).
+
+Mixed into :class:`repro.core.base.GridProtocolBase`.  Implements the
+AODV-derived machinery GRID and ECGRID share: region-confined RREQ
+flooding between gateways, reverse-pointer RREP return, grid-based
+routing tables, data forwarding through neighbor gateways, buffering
+during discovery, RERR on forwarding breaks, and — for protocols that
+page (ECGRID) — buffering + RAS wakeup for sleeping in-grid
+destinations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.core.base import GridProtocolBase, Role
+from repro.core.messages import DataEnvelope, Rerr, Rrep, Rreq
+from repro.des.timer import Timer
+from repro.geo.grid import GridCoord
+from repro.geo.region import bounding_region, whole_map_region
+from repro.net.packet import DataPacket
+
+#: Cap on the remembered (src, rreq_id) duplicate-detection keys.
+_SEEN_RREQ_LIMIT = 8192
+
+
+class _Pending:
+    """One in-progress route discovery with its buffered packets."""
+
+    __slots__ = ("dest", "queue", "retries", "timer", "restarts", "cooling")
+
+    def __init__(self, dest: int, timer: Timer) -> None:
+        self.dest = dest
+        self.queue: Deque[DataPacket] = deque()
+        self.retries = 0
+        self.timer = timer
+        #: After exhausting the retry budget the discovery cools down
+        #: once and restarts: under heavy churn the destination is
+        #: often mid-migration (sleeping, unregistered) and appears at
+        #: its new gateway a second later.
+        self.restarts = 0
+        self.cooling = False
+
+
+class GridRoutingMixin(GridProtocolBase):
+    """Routing engine shared by the grid-protocol family."""
+
+    #: ECGRID buffers and RAS-pages sleeping in-grid destinations; GAF
+    #: famously cannot (paper §1), and in GRID nobody sleeps.
+    page_sleeping_hosts = False
+    #: Delay between paging a host and pushing its buffered packets
+    #: (RAS burst + activation + margin).
+    _page_flush_delay_s = 0.005
+    _page_attempt_limit = 2
+
+    def _init_routing(self) -> None:
+        self.seq = 0
+        self._rreq_counter = 0
+        self._seen_rreq: Set[Tuple[int, int]] = set()
+        self._seen_rreq_order: Deque[Tuple[int, int]] = deque()
+        self.pending: Dict[int, _Pending] = {}
+        self.location_cache: Dict[int, GridCoord] = {}
+        #: Packets waiting for *any* gateway (we are a gateway-less
+        #: active host, e.g. mid-election).
+        self.pending_local: Deque[DataPacket] = deque()
+        #: Gateway-side buffers for sleeping in-grid destinations.
+        self.host_buffers: Dict[int, Deque[DataPacket]] = {}
+        self._page_attempts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Application entry
+    # ------------------------------------------------------------------
+    def send_data(self, packet: DataPacket) -> None:
+        if self.role is Role.DEAD:
+            return
+        if self.role is Role.GATEWAY:
+            self._route_packet(packet)
+        elif self.role is Role.SLEEPING:
+            self._send_data_while_sleeping(packet)
+        elif self.my_gateway is not None and self.my_gateway != self.node.id:
+            self._send_via_gateway(packet)
+        else:
+            self._queue_local(packet)
+
+    def _send_data_while_sleeping(self, packet: DataPacket) -> None:
+        """Default (protocols without sleep never hit this)."""
+        self._queue_local(packet)
+
+    def _send_via_gateway(self, packet: DataPacket) -> None:
+        env = DataEnvelope(packet=packet, from_cell=self.my_cell)
+        gw = self.my_gateway
+        self._unicast(
+            env,
+            gw,
+            on_fail=lambda _m, _d: self._gateway_send_failed(packet),
+        )
+
+    def _gateway_send_failed(self, packet: DataPacket) -> None:
+        """Unicast to our gateway died: a no-gateway event (§3.2 case 2
+        of the detection list).  Buffer and force re-election."""
+        if self.role is Role.DEAD:
+            return
+        self.counters.inc("gateway_unreachable")
+        self._queue_local(packet)
+        if self.role is Role.ACTIVE:
+            self.my_gateway = None
+            self.my_gateway_level = None
+            self._hello_soon()
+            self.watch_timer.start(0.25 * self.params.hello_period_s)
+
+    def _queue_local(self, packet: DataPacket) -> None:
+        if len(self.pending_local) >= self.params.buffer_limit:
+            self.pending_local.popleft()
+            self.counters.inc("buffer_drops")
+        self.pending_local.append(packet)
+
+    def _flush_pending_local(self) -> None:
+        while self.pending_local:
+            if self.role is Role.GATEWAY:
+                self._route_packet(self.pending_local.popleft())
+            elif self.my_gateway is not None and self.my_gateway != self.node.id:
+                self._send_via_gateway(self.pending_local.popleft())
+            else:
+                break
+
+    # Hooks from the base class --------------------------------------
+    def _on_gateway_known(self, first_sighting: bool) -> None:
+        self._flush_pending_local()
+
+    def _on_became_gateway(self) -> None:
+        self._flush_pending_local()
+
+    def demote_to_active(self) -> None:
+        was_gateway = self.is_gateway
+        super().demote_to_active()
+        if was_gateway:
+            self._demote_cleanup()
+
+    def _demote_cleanup(self) -> None:
+        """Re-inject buffered work so the successor gateway handles it."""
+        for p in self.pending.values():
+            p.timer.cancel()
+            while p.queue:
+                self._queue_local(p.queue.popleft())
+        self.pending.clear()
+        for buf in self.host_buffers.values():
+            while buf:
+                self._queue_local(buf.popleft())
+        self.host_buffers.clear()
+        self._page_attempts.clear()
+
+    def _routing_on_death(self) -> None:
+        for p in self.pending.values():
+            p.timer.cancel()
+        self.pending.clear()
+        self.pending_local.clear()
+        self.host_buffers.clear()
+
+    # ------------------------------------------------------------------
+    # Gateway forwarding
+    # ------------------------------------------------------------------
+    def _route_packet(self, packet: DataPacket) -> None:
+        dest = packet.dst
+        if dest == self.node.id:
+            self.node.deliver_to_app(packet)
+            return
+        if self.hosts.is_known(dest):
+            self._deliver_in_grid(packet, dest)
+            return
+        entry = self.routing.lookup(dest, self.now)
+        if entry is not None:
+            self._forward(packet, dest, entry.next_cell)
+        else:
+            self._start_discovery(dest, packet)
+
+    def _gateway_of(self, cell: GridCoord) -> Optional[int]:
+        """Fresh neighbor-gateway lookup (HELLO-derived, §3.1)."""
+        if cell == self.my_cell:
+            return self.node.id if self.is_gateway else self.my_gateway
+        rec = self.neighbor_gateways.get(cell)
+        if rec is None:
+            return None
+        gw_id, heard = rec
+        horizon = self.params.hello_period_s * self.params.hello_loss_tolerance
+        if self.now - heard > horizon:
+            del self.neighbor_gateways[cell]
+            return None
+        return gw_id
+
+    def _forward(self, packet: DataPacket, dest: int, next_cell: GridCoord) -> None:
+        gw = self._gateway_of(next_cell)
+        if gw is None or gw == self.node.id:
+            self.routing.invalidate(dest)
+            self._start_discovery(dest, packet)
+            return
+        self.routing.touch(dest, self.now, self.params.route_lifetime_s)
+        env = DataEnvelope(packet=packet, from_cell=self.my_cell)
+        self.counters.inc("data_forwarded")
+        self._unicast(
+            env,
+            gw,
+            on_fail=lambda _m, _d: self._forward_failed(packet, dest, next_cell, gw),
+        )
+
+    def _forward_failed(
+        self, packet: DataPacket, dest: int, next_cell: GridCoord, gw_id: int
+    ) -> None:
+        if self.role is Role.DEAD:
+            return
+        self.counters.inc("forward_failures")
+        rec = self.neighbor_gateways.get(next_cell)
+        if rec is not None and rec[0] == gw_id:
+            del self.neighbor_gateways[next_cell]
+        self.routing.invalidate(dest)
+        if self.role is Role.GATEWAY:
+            # Local repair, plus RERR so the source re-discovers (§3.4).
+            self._start_discovery(dest, packet)
+            self._send_rerr(packet.src, dest)
+        else:
+            self._queue_local(packet)
+
+    # ------------------------------------------------------------------
+    # In-grid delivery (gateway -> member host)
+    # ------------------------------------------------------------------
+    def _deliver_in_grid(self, packet: DataPacket, dest: int) -> None:
+        awake = self.hosts.is_awake(dest)
+        if awake is False and self.page_sleeping_hosts:
+            self._buffer_and_page(dest, packet)
+            return
+        env = DataEnvelope(packet=packet, from_cell=self.my_cell)
+        self._unicast(
+            env,
+            dest,
+            on_ok=lambda _m, _d: self._page_attempts.pop(dest, None),
+            on_fail=lambda _m, _d: self._in_grid_failed(packet, dest),
+        )
+
+    def _in_grid_failed(self, packet: DataPacket, dest: int) -> None:
+        if self.role is Role.DEAD:
+            return
+        if self.page_sleeping_hosts:
+            attempts = self._page_attempts.get(dest, 0)
+            if attempts < self._page_attempt_limit:
+                # The host table said awake but the host is not
+                # reachable: assume it fell asleep and page it.
+                self.hosts.mark_sleeping(dest)
+                self._buffer_and_page(dest, packet)
+                return
+        # The host is gone (left the grid without LEAVE, or died).
+        self.counters.inc("in_grid_drops")
+        self.hosts.remove(dest)
+        self._page_attempts.pop(dest, None)
+
+    def _buffer_and_page(self, dest: int, packet: Optional[DataPacket]) -> None:
+        """§3.3: buffer at the gateway, wake the destination via RAS,
+        then push the buffered packets."""
+        buf = self.host_buffers.setdefault(dest, deque())
+        if packet is not None:
+            if len(buf) >= self.params.buffer_limit:
+                buf.popleft()
+                self.counters.inc("buffer_drops")
+            buf.append(packet)
+        already_paging = self._page_attempts.get(dest, 0) > 0
+        self._page_attempts[dest] = self._page_attempts.get(dest, 0) + 1
+        if already_paging:
+            return
+        self.counters.inc("pages_sent")
+        self.node.ras.page_host(self.node.radio, dest)
+        self.sim.after(self._page_flush_delay_s, self._flush_host_buffer, dest)
+
+    def _flush_host_buffer(self, dest: int) -> None:
+        """Push buffered packets to a (hopefully) now-awake host."""
+        if self.role is not Role.GATEWAY:
+            return
+        buf = self.host_buffers.pop(dest, None)
+        if not buf:
+            return
+        self.hosts.mark_active(dest)
+        while buf:
+            self._deliver_in_grid(buf.popleft(), dest)
+
+    def _member_registered(self, dest: int) -> None:
+        """A host just (re)joined our grid: any route discovery we were
+        running for it resolves locally, and buffered frames flush."""
+        p = self.pending.pop(dest, None)
+        if p is not None:
+            p.timer.cancel()
+            while p.queue:
+                self._deliver_in_grid(p.queue.popleft(), dest)
+        self._flush_host_buffer(dest)
+
+    def _reroute_host_buffer(self, dest: int) -> None:
+        """The host left the grid: route its buffered packets normally
+        (discovery will find its new grid once it re-registers)."""
+        buf = self.host_buffers.pop(dest, None)
+        self._page_attempts.pop(dest, None)
+        if not buf:
+            return
+        while buf:
+            self._route_packet(buf.popleft())
+
+    # ------------------------------------------------------------------
+    # Route discovery
+    # ------------------------------------------------------------------
+    def _start_discovery(self, dest: int, packet: Optional[DataPacket]) -> None:
+        p = self.pending.get(dest)
+        if p is None:
+            p = _Pending(
+                dest, Timer(self.sim, lambda d=dest: self._rreq_timeout(d))
+            )
+            self.pending[dest] = p
+            self._send_rreq(p)
+        if packet is not None:
+            if len(p.queue) >= self.params.buffer_limit:
+                p.queue.popleft()
+                self.counters.inc("buffer_drops")
+            p.queue.append(packet)
+
+    def _search_region(self, dest: int, retries: int):
+        """The RREQ `range` for this discovery round (§3.3).
+
+        Policies follow the GRID paper's confinement options: the S-D
+        bounding rectangle, the rectangle plus a margin ring, or no
+        confinement.  Without location information for the destination,
+        or after a confined round failed ("another round ... to search
+        all areas"), the search goes global.
+        """
+        known_cell = self.location_cache.get(dest)
+        if (
+            retries > 0
+            or known_cell is None
+            or self.params.search_policy == "global"
+        ):
+            return whole_map_region(self.node.grid)
+        margin = (
+            self.params.search_margin_cells
+            if self.params.search_policy == "bbox_margin"
+            else 0
+        )
+        return bounding_region(
+            self.my_cell, known_cell, margin=margin, grid=self.node.grid
+        )
+
+    def _send_rreq(self, p: _Pending) -> None:
+        self.seq += 1
+        self._rreq_counter += 1
+        region = self._search_region(p.dest, p.retries)
+        msg = Rreq(
+            src=self.node.id,
+            s_seq=self.seq,
+            dst=p.dest,
+            d_seq=0,
+            rreq_id=self._rreq_counter,
+            region=region,
+            from_cell=self.my_cell,
+            origin_cell=self.my_cell,
+        )
+        self._remember_rreq((self.node.id, self._rreq_counter))
+        self.counters.inc("rreq_originated")
+        self._broadcast(msg)
+        p.timer.start(self.params.route_request_timeout_s)
+
+    #: Pause before the single discovery restart, and its budget.
+    _discovery_cooldown_s = 2.0
+    _discovery_restarts = 1
+
+    def _rreq_timeout(self, dest: int) -> None:
+        p = self.pending.get(dest)
+        if p is None:
+            return
+        if p.cooling:
+            p.cooling = False
+            p.retries = 0
+            self.counters.inc("discovery_restarts")
+            self._send_rreq(p)
+            return
+        p.retries += 1
+        if p.retries > self.params.route_request_retries:
+            if p.restarts < self._discovery_restarts:
+                p.restarts += 1
+                p.cooling = True
+                p.timer.start(self._discovery_cooldown_s)
+                return
+            self.counters.inc("discovery_failures")
+            self.counters.inc("data_dropped_no_route", len(p.queue))
+            del self.pending[dest]
+            return
+        self._send_rreq(p)
+
+    def _remember_rreq(self, key: Tuple[int, int]) -> None:
+        self._seen_rreq.add(key)
+        self._seen_rreq_order.append(key)
+        if len(self._seen_rreq_order) > _SEEN_RREQ_LIMIT:
+            old = self._seen_rreq_order.popleft()
+            self._seen_rreq.discard(old)
+
+    # -- message handlers ----------------------------------------------
+    def _on_rreq(self, msg: Rreq) -> None:
+        if self.role is not Role.GATEWAY:
+            return  # only gateways participate in route searching
+        key = (msg.src, msg.rreq_id)
+        if key in self._seen_rreq:
+            return
+        self._remember_rreq(key)
+        if msg.region is not None and not msg.region.contains(self.my_cell):
+            return  # outside the searching area: ignore (§3.3)
+        # Reverse pointer to the requester, via the previous grid.
+        if msg.from_cell != self.my_cell:
+            self.routing.update(
+                msg.src, msg.from_cell, msg.s_seq, self.now,
+                self.params.route_lifetime_s,
+            )
+        self.location_cache[msg.src] = msg.origin_cell
+        if msg.dst == self.node.id or self.hosts.is_known(msg.dst):
+            # We are the destination('s gateway): answer (§3.3).
+            self.seq += 1
+            rep = Rrep(
+                src=msg.src,
+                dst=msg.dst,
+                d_seq=self.seq,
+                dest_cell=self.my_cell,
+                from_cell=self.my_cell,
+            )
+            self.counters.inc("rrep_originated")
+            self._send_rrep_toward(rep, msg.src)
+        else:
+            self.counters.inc("rreq_forwarded")
+            self._broadcast(replace(msg, from_cell=self.my_cell, hops=msg.hops + 1))
+
+    def _send_rrep_toward(self, rep: Rrep, requester: int) -> None:
+        if requester == self.node.id:
+            self._route_ready(rep)
+            return
+        entry = self.routing.lookup(requester, self.now)
+        if entry is None:
+            self.counters.inc("rrep_lost")
+            return
+        gw = self._gateway_of(entry.next_cell)
+        if gw is None or gw == self.node.id:
+            self.counters.inc("rrep_lost")
+            return
+        self._unicast(
+            rep,
+            gw,
+            on_fail=lambda _m, _d: self.counters.inc("rrep_lost"),
+        )
+
+    def _on_rrep(self, rep: Rrep) -> None:
+        self.routing.update(
+            rep.dst, rep.from_cell, rep.d_seq, self.now, self.params.route_lifetime_s
+        )
+        self.location_cache[rep.dst] = rep.dest_cell
+        if rep.src == self.node.id:
+            self._route_ready(rep)
+        else:
+            self._send_rrep_toward(
+                replace(rep, from_cell=self.my_cell, hops=rep.hops + 1), rep.src
+            )
+
+    def _route_ready(self, rep: Rrep) -> None:
+        p = self.pending.pop(rep.dst, None)
+        if p is None:
+            return
+        p.timer.cancel()
+        while p.queue:
+            # send_data dispatches correctly even if our role changed
+            # while the discovery was in flight.
+            self.send_data(p.queue.popleft())
+
+    def _send_rerr(self, src: int, dest: int) -> None:
+        if src == self.node.id or self.hosts.is_known(src):
+            return  # the source is local; our own repair covers it
+        entry = self.routing.lookup(src, self.now)
+        if entry is None:
+            return
+        gw = self._gateway_of(entry.next_cell)
+        if gw is None or gw == self.node.id:
+            return
+        self.counters.inc("rerr_sent")
+        self._unicast(Rerr(src=src, dst=dest, broken_cell=self.my_cell), gw)
+
+    def _on_rerr(self, msg: Rerr) -> None:
+        self.routing.invalidate(msg.dst)
+        if msg.src == self.node.id or self.hosts.is_known(msg.src):
+            return  # reached the source('s gateway): future sends re-discover
+        self._send_rerr(msg.src, msg.dst)
+
+    # ------------------------------------------------------------------
+    # Data envelopes
+    # ------------------------------------------------------------------
+    def _on_envelope(self, env: DataEnvelope, sender_id: int) -> None:
+        packet = env.packet
+        if packet is None:
+            return
+        packet.hops += 1
+        # Passive reverse route toward the application-level source.
+        if packet.src != self.node.id and env.from_cell != self.my_cell:
+            self.routing.update(
+                packet.src, env.from_cell, 0, self.now, self.params.route_lifetime_s
+            )
+        if packet.dst == self.node.id:
+            self._note_activity()
+            self.node.deliver_to_app(packet)
+            return
+        if self.role is Role.GATEWAY:
+            self._route_packet(packet)
+        elif self.my_gateway is not None and self.my_gateway != self.node.id:
+            # We demoted while traffic was in flight; bounce via the
+            # current gateway.
+            self._send_via_gateway(packet)
+        else:
+            self._queue_local(packet)
+
+    def _note_activity(self) -> None:
+        """Hook: ECGRID resets its idle re-sleep timer on traffic."""

@@ -1,0 +1,173 @@
+"""The simulator: clock, calendar queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.des.event import Event, EventHandle
+from repro.des.rng import RngStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    The calendar is a binary heap of :class:`Event` records with lazy
+    cancellation.  All model components share one simulator instance and
+    one :class:`RngStreams` bundle, so a whole scenario is a deterministic
+    function of its seed.
+
+    Priorities
+    ----------
+    Events at identical times fire in ascending ``priority`` then
+    insertion order.  The kernel defines no meaning for priority values;
+    by convention the network stack uses 0 for ordinary events and
+    higher values for bookkeeping that must observe same-instant effects
+    (e.g. metric sampling uses priority 100 so a sample at time t sees
+    every state change that happened *at* t).
+    """
+
+    #: Compaction trigger: queues above this size are scanned, and if
+    #: mostly cancelled, rebuilt (lazy deletion must not hoard memory).
+    COMPACT_THRESHOLD = 16384
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = RngStreams(seed)
+        self._queue: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed: int = 0
+        self._compactions: int = 0
+        self._next_compact_check = self.COMPACT_THRESHOLD
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        self._seq += 1
+        event = Event(time, priority, self._seq, fn, args)
+        heapq.heappush(self._queue, event)
+        if len(self._queue) >= self._next_compact_check:
+            self._maybe_compact()
+        return EventHandle(event)
+
+    def after(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` after a relative ``delay >= 0``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self.now + delay, fn, *args, priority=priority)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current instant (after the
+        currently executing event returns)."""
+        return self.at(self.now, fn, *args)
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without cancelled events when they dominate.
+
+        Lazy deletion is O(1) per cancel, but a workload that cancels
+        far-future events could otherwise hold them until their time
+        arrives.  Amortized cost: one O(n) sweep per doubling.
+        """
+        queue = self._queue
+        live = [e for e in queue if not e.cancelled]
+        if len(live) <= len(queue) // 2:
+            heapq.heapify(live)
+            self._queue = live
+            self._compactions += 1
+        self._next_compact_check = max(
+            self.COMPACT_THRESHOLD, 2 * len(self._queue)
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Execute events in order until the calendar empties or the
+        clock would pass ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until``
+        even if the calendar emptied earlier, so post-run metric reads
+        see the full horizon.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        try:
+            while queue and not self._stopped:
+                event = queue[0]
+                if event.cancelled:
+                    heapq.heappop(queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(queue)
+                self.now = event.time
+                self._events_executed += 1
+                event.fn(*event.args)
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none."""
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events in the calendar (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events dispatched since construction."""
+        return self._events_executed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the calendar is empty."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else None

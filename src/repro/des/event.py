@@ -1,0 +1,80 @@
+"""Event records and cancellable handles for the DES calendar."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``: earlier time first,
+    then lower priority value, then insertion order.  The ``seq`` tiebreak
+    makes the execution order a deterministic total order regardless of
+    heap internals, which is what makes whole simulations reproducible
+    from a seed.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} p={self.priority} #{self.seq} {name}{state}>"
+
+
+class EventHandle:
+    """Public, re-usable handle to a scheduled event.
+
+    ``cancel()`` is O(1): the event is flagged and skipped when popped
+    (lazy deletion).  A handle may be cancelled more than once and may be
+    cancelled after the event fired; both are harmless no-ops, which
+    keeps protocol code free of defensive bookkeeping.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time the event is (or was) due."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+def cancel_if_active(handle: Optional[EventHandle]) -> None:
+    """Cancel ``handle`` if it is a live handle; accept ``None`` silently."""
+    if handle is not None:
+        handle.cancel()

@@ -1,0 +1,29 @@
+"""Energy modeling: per-mode power profiles and analytic batteries.
+
+The power constants reproduce the measurements the paper adopts from
+Feeney & Nilsson (Cabletron Roamabout 802.11 DS, 2 Mbps): transmit
+1400 mW, receive 1000 mW, idle 830 mW, sleep 130 mW, plus 33 mW for the
+GPS receiver.  Energy is integrated in closed form between radio-state
+transitions; battery depletion and battery-level band crossings are
+scheduled as simulator events, never polled.
+"""
+
+from repro.energy.profile import (
+    EnergyLevel,
+    PowerProfile,
+    RadioMode,
+    PAPER_PROFILE,
+    level_of,
+)
+from repro.energy.battery import Battery
+from repro.energy.accounting import BatteryMonitor
+
+__all__ = [
+    "RadioMode",
+    "EnergyLevel",
+    "PowerProfile",
+    "PAPER_PROFILE",
+    "level_of",
+    "Battery",
+    "BatteryMonitor",
+]

@@ -1,0 +1,121 @@
+"""Analytic battery: integrates a piecewise-constant power draw."""
+
+from __future__ import annotations
+
+import math
+
+from repro.energy.profile import EnergyLevel, level_of
+
+
+class Battery:
+    """Energy store with closed-form accounting.
+
+    The draw is piecewise constant between calls to :meth:`set_draw`;
+    remaining energy at any time is computed analytically, so no
+    periodic "tick" events are needed.  ``capacity_j = math.inf`` models
+    the paper's Model-1 infinite-energy endpoints: such a battery never
+    depletes and always reports full.
+    """
+
+    __slots__ = ("capacity_j", "_remaining", "_draw_w", "_last_t", "_depleted")
+
+    def __init__(self, capacity_j: float, initial_j: float | None = None) -> None:
+        if capacity_j <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_j = capacity_j
+        self._remaining = capacity_j if initial_j is None else initial_j
+        if self._remaining < 0 or self._remaining > capacity_j:
+            raise ValueError("initial charge outside [0, capacity]")
+        self._draw_w = 0.0
+        self._last_t = 0.0
+        self._depleted = self._remaining == 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def infinite(self) -> bool:
+        return math.isinf(self.capacity_j)
+
+    @property
+    def draw_w(self) -> float:
+        """Current draw in watts."""
+        return self._draw_w
+
+    @property
+    def depleted(self) -> bool:
+        return self._depleted
+
+    def _settle(self, now: float) -> None:
+        """Charge the elapsed interval against the store."""
+        if now < self._last_t:
+            raise ValueError(f"time went backwards: {now} < {self._last_t}")
+        if self.infinite:
+            self._last_t = now
+            return
+        spent = self._draw_w * (now - self._last_t)
+        self._remaining -= spent
+        if self._remaining <= 1e-12:
+            self._remaining = 0.0
+            self._depleted = True
+        self._last_t = now
+
+    def settle(self, now: float) -> None:
+        """Fold the elapsed interval into the store without changing the
+        draw (updates the ``depleted`` flag at observation points)."""
+        self._settle(now)
+
+    # ------------------------------------------------------------------
+    def set_draw(self, watts: float, now: float) -> None:
+        """Account for the interval since the last change, then switch
+        the draw to ``watts``."""
+        if watts < 0:
+            raise ValueError("draw cannot be negative")
+        self._settle(now)
+        self._draw_w = watts
+
+    def remaining_at(self, now: float) -> float:
+        """Joules remaining at ``now`` (extrapolating the current draw)."""
+        if self.infinite:
+            return math.inf
+        if self._depleted:
+            return 0.0
+        rem = self._remaining - self._draw_w * (now - self._last_t)
+        return max(rem, 0.0)
+
+    def consumed_at(self, now: float) -> float:
+        """Joules consumed since construction (0 for infinite batteries)."""
+        if self.infinite:
+            return 0.0
+        return self.capacity_j - self.remaining_at(now)
+
+    def rbrc(self, now: float) -> float:
+        """Ratio of battery remaining capacity (paper eq. 1)."""
+        if self.infinite:
+            return 1.0
+        return self.remaining_at(now) / self.capacity_j
+
+    def level(self, now: float) -> EnergyLevel:
+        """Current battery band."""
+        return level_of(self.rbrc(now))
+
+    # ------------------------------------------------------------------
+    # Predictions used to schedule events
+    # ------------------------------------------------------------------
+    def time_until_empty(self, now: float) -> float:
+        """Seconds until depletion at the current draw (inf if never)."""
+        if self.infinite:
+            return math.inf
+        if self._depleted:
+            return 0.0
+        if self._draw_w == 0.0:
+            return math.inf
+        return self.remaining_at(now) / self._draw_w
+
+    def time_until_rbrc(self, target: float, now: float) -> float:
+        """Seconds until Rbrc falls to ``target`` at the current draw
+        (inf if never, 0 if already at or below)."""
+        if self.infinite or self._draw_w == 0.0:
+            return math.inf if self.rbrc(now) > target else 0.0
+        delta = self.remaining_at(now) - target * self.capacity_j
+        if delta <= 0:
+            return 0.0
+        return delta / self._draw_w

@@ -1,0 +1,82 @@
+"""Radio modes, power profiles, and battery-level bands."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RadioMode(enum.Enum):
+    """Transceiver operating mode.
+
+    ``OFF`` means the host is dead (battery exhausted); ``SLEEP`` means
+    the transceiver is powered down but the host is alive and can be
+    woken through its RAS.
+    """
+
+    TX = "tx"
+    RX = "rx"
+    IDLE = "idle"
+    SLEEP = "sleep"
+    OFF = "off"
+
+
+class EnergyLevel(enum.IntEnum):
+    """The paper's three battery bands (ordered for election priority)."""
+
+    LOWER = 0      # Rbrc <  0.2
+    BOUNDARY = 1   # 0.2 <= Rbrc <= 0.6
+    UPPER = 2      # Rbrc >  0.6
+
+
+#: Band thresholds on the ratio of battery remaining capacity (Rbrc).
+UPPER_THRESHOLD = 0.6
+LOWER_THRESHOLD = 0.2
+
+
+def level_of(rbrc: float) -> EnergyLevel:
+    """Map an Rbrc ratio to its :class:`EnergyLevel` band (paper eq. 1)."""
+    if rbrc > UPPER_THRESHOLD:
+        return EnergyLevel.UPPER
+    if rbrc >= LOWER_THRESHOLD:
+        return EnergyLevel.BOUNDARY
+    return EnergyLevel.LOWER
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Per-mode power draw in watts.
+
+    ``gps_w`` is drawn continuously while the host is alive, in every
+    mode including sleep (each host carries a GPS in all three compared
+    protocols, §4).  The RAS paging receiver's draw is negligible and
+    ignored, exactly as the paper does.
+    """
+
+    tx_w: float = 1.400
+    rx_w: float = 1.000
+    idle_w: float = 0.830
+    sleep_w: float = 0.130
+    gps_w: float = 0.033
+
+    def radio_power(self, mode: RadioMode) -> float:
+        """Radio draw for ``mode`` (watts), excluding GPS."""
+        if mode is RadioMode.TX:
+            return self.tx_w
+        if mode is RadioMode.RX:
+            return self.rx_w
+        if mode is RadioMode.IDLE:
+            return self.idle_w
+        if mode is RadioMode.SLEEP:
+            return self.sleep_w
+        return 0.0
+
+    def total_power(self, mode: RadioMode) -> float:
+        """Radio + GPS draw for ``mode`` (watts); zero when OFF."""
+        if mode is RadioMode.OFF:
+            return 0.0
+        return self.radio_power(mode) + self.gps_w
+
+
+#: The exact evaluation profile from the paper's §4.
+PAPER_PROFILE = PowerProfile()

@@ -1,0 +1,30 @@
+"""Experiment harness: configs, the runner, and the paper's figures."""
+
+from repro.experiments.config import ExperimentConfig, PROTOCOLS
+from repro.experiments.runner import ExperimentResult, build_network, run_experiment
+from repro.experiments.report import format_series_table, format_summary_table
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.experiments.snapshot import render as render_snapshot
+from repro.experiments.validate import InvariantChecker, InvariantReport
+
+__all__ = [
+    "figure_to_csv",
+    "figure_to_json",
+    "result_to_dict",
+    "result_to_json",
+    "render_snapshot",
+    "InvariantChecker",
+    "InvariantReport",
+    "ExperimentConfig",
+    "PROTOCOLS",
+    "ExperimentResult",
+    "build_network",
+    "run_experiment",
+    "format_series_table",
+    "format_summary_table",
+]

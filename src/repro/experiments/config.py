@@ -1,0 +1,112 @@
+"""Experiment configuration: one dataclass fully determines a run.
+
+``ExperimentConfig()`` defaults reproduce the paper's §4 setup exactly:
+1000 x 1000 m, 100-m grid, 2 Mbps / 250 m radios, 100 hosts at 500 J,
+random waypoint, 10 CBR flows x 1 pkt/s x 512 B (10 pkt/s aggregate
+load), 2000 s horizon.  :meth:`ExperimentConfig.scaled` shrinks a
+scenario while preserving host density, per-host load and lifetime
+*shape* so tests and benchmarks finish quickly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.protocols.base import ProtocolParams
+from repro.protocols.gaf import GafParams
+
+#: Registered protocol names.
+PROTOCOLS = ("ecgrid", "grid", "gaf", "aodv", "span", "dsdv", "flooding")
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything that defines one simulation run (seed included)."""
+
+    protocol: str = "ecgrid"
+    # -- scenario ------------------------------------------------------
+    width_m: float = 1000.0
+    height_m: float = 1000.0
+    cell_side_m: float = 100.0
+    n_hosts: int = 100
+    #: GAF Model-1 endpoints; None = protocol default (10 for GAF, 0
+    #: otherwise, matching §4's two host models).
+    n_endpoints: Optional[int] = None
+    initial_energy_j: float = 500.0
+    # -- mobility ------------------------------------------------------
+    min_speed_mps: float = 0.0
+    max_speed_mps: float = 1.0
+    pause_time_s: float = 0.0
+    # -- traffic -------------------------------------------------------
+    n_flows: int = 10
+    flow_rate_pps: float = 1.0
+    packet_bytes: int = 512
+    # -- channel ---------------------------------------------------------
+    #: "unit_disk" or "gray_zone" (lossy fringe; robustness studies).
+    loss_model: str = "unit_disk"
+    # -- run -----------------------------------------------------------
+    sim_time_s: float = 2000.0
+    seed: int = 1
+    sample_interval_s: float = 10.0
+    # -- protocol tunables ----------------------------------------------
+    params: ProtocolParams = field(default_factory=ProtocolParams)
+    gaf: GafParams = field(default_factory=GafParams)
+
+    def validate(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.n_flows < 0 or self.sim_time_s <= 0:
+            raise ValueError("need n_flows >= 0 and sim_time_s > 0")
+
+    @property
+    def endpoints(self) -> int:
+        if self.n_endpoints is not None:
+            return self.n_endpoints
+        return 10 if self.protocol == "gaf" else 0
+
+    @property
+    def aggregate_load_pps(self) -> float:
+        """The paper quotes "network traffic load" as flows x rate."""
+        return self.n_flows * self.flow_rate_pps
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """A smaller scenario with the same qualitative behaviour.
+
+        Host count, area, flow count, energy and horizon all scale by
+        ``factor`` (area by ``sqrt`` per axis), preserving host density
+        (hosts per grid cell), per-host traffic load, and the *relative*
+        position of lifetime knees within the horizon.
+        """
+        if factor <= 0 or factor > 1:
+            raise ValueError("scale factor must be in (0, 1]")
+        if factor == 1.0:
+            return replace(self)
+        side = math.sqrt(factor)
+        return replace(
+            self,
+            width_m=self.width_m * side,
+            height_m=self.height_m * side,
+            n_hosts=max(8, round(self.n_hosts * factor)),
+            n_endpoints=(
+                None
+                if self.n_endpoints is None
+                else max(2, round(self.n_endpoints * factor))
+            ),
+            n_flows=max(2, round(self.n_flows * factor)),
+            initial_energy_j=self.initial_energy_j * factor,
+            sim_time_s=self.sim_time_s * factor,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol} n={self.n_hosts} "
+            f"area={self.width_m:.0f}x{self.height_m:.0f} "
+            f"v<= {self.max_speed_mps} m/s pause={self.pause_time_s:.0f}s "
+            f"load={self.aggregate_load_pps:.0f} pkt/s "
+            f"E0={self.initial_energy_j:.0f}J T={self.sim_time_s:.0f}s "
+            f"seed={self.seed}"
+        )

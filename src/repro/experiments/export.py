@@ -1,0 +1,74 @@
+"""Export experiment results and figure data to JSON / CSV.
+
+The text tables in :mod:`repro.experiments.report` are for humans;
+these exporters feed external plotting (matplotlib, gnuplot, pandas)
+without adding any plotting dependency to the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.figures import FigureData
+    from repro.experiments.runner import ExperimentResult
+
+
+def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
+    """A JSON-serializable summary of one run."""
+    cfg = asdict(result.config)
+    # Nested param dataclasses serialize too (asdict recurses).
+    return {
+        "config": cfg,
+        "sent": result.sent,
+        "delivered": result.delivered,
+        "delivery_rate": result.delivery_rate,
+        "mean_latency_s": result.mean_latency_s,
+        "latency_p95_s": result.latency_p95_s,
+        "mean_hops": result.mean_hops,
+        "duplicates": result.duplicates,
+        "first_death_s": result.first_death_s,
+        "all_dead_s": result.all_dead_s,
+        "alive_fraction": result.alive_fraction.rows(),
+        "aen": result.aen.rows(),
+        "counters": result.counters,
+        "medium": result.medium,
+        "events_executed": result.events_executed,
+        "wall_time_s": result.wall_time_s,
+    }
+
+
+def result_to_json(result: "ExperimentResult", indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent, default=str)
+
+
+def figure_to_csv(fig: "FigureData") -> str:
+    """One CSV: the union of x values, one column per series."""
+    xs = sorted({x for s in fig.series.values() for x, _ in s})
+    maps = {label: dict(s) for label, s in fig.series.items()}
+    labels = list(fig.series)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([fig.x_label] + labels)
+    for x in xs:
+        writer.writerow(
+            [x] + [maps[label].get(x, "") for label in labels]
+        )
+    return out.getvalue()
+
+
+def figure_to_json(fig: "FigureData", indent: int = 2) -> str:
+    return json.dumps(
+        {
+            "figure_id": fig.figure_id,
+            "title": fig.title,
+            "x_label": fig.x_label,
+            "y_label": fig.y_label,
+            "series": {k: list(v) for k, v in fig.series.items()},
+        },
+        indent=indent,
+    )

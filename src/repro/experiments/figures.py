@@ -1,0 +1,341 @@
+"""Regeneration of every figure in the paper's evaluation (§4).
+
+The paper's evaluation is Figures 4–8 (it has no tables); each function
+here reproduces one figure as structured series data.  ``scale=1.0``
+reruns the paper's exact parameters (slow: full 2000 s, 100+ hosts);
+benchmarks use scaled-down variants that preserve density and load, so
+the *shape* claims (who wins, by what factor, where the knees are)
+remain comparable.  Three ablations probe the design choices §3
+motivates but does not quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_series_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+Series = List[Tuple[float, float]]
+
+#: The three protocols of Figs. 4–7.
+COMPARED = ("grid", "ecgrid", "gaf")
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: labelled (x, y) series plus run records."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series]
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        return format_series_table(
+            f"[{self.figure_id}] {self.title}  (y: {self.y_label})",
+            self.x_label,
+            self.series,
+        )
+
+
+def _base(speed: float, scale: float, seed: int, **overrides) -> ExperimentConfig:
+    """The paper's common setup: 100 hosts, 10 pkt/s aggregate load,
+    constant mobility (pause 0) unless overridden."""
+    cfg = ExperimentConfig(
+        max_speed_mps=speed,
+        pause_time_s=0.0,
+        seed=seed,
+    )
+    cfg = replace(cfg, **overrides)
+    return cfg.scaled(scale)
+
+
+def lifetime_runs(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    protocols: Sequence[str] = COMPARED,
+) -> Dict[str, ExperimentResult]:
+    """The shared workload behind Figs. 4 and 5."""
+    out: Dict[str, ExperimentResult] = {}
+    for proto in protocols:
+        cfg = _base(speed, scale, seed, protocol=proto)
+        out[proto] = run_experiment(cfg)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4: fraction of alive hosts vs simulation time
+# ----------------------------------------------------------------------
+def fig4(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    runs: Optional[Dict[str, ExperimentResult]] = None,
+) -> FigureData:
+    runs = runs or lifetime_runs(speed, scale, seed)
+    series = {p: list(r.alive_fraction) for p, r in runs.items()}
+    return FigureData(
+        "fig4",
+        f"Fraction of alive hosts vs time (speed {speed} m/s)",
+        "t(s)",
+        "alive fraction",
+        series,
+        runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: mean energy consumption per host (aen) vs simulation time
+# ----------------------------------------------------------------------
+def fig5(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    runs: Optional[Dict[str, ExperimentResult]] = None,
+) -> FigureData:
+    runs = runs or lifetime_runs(speed, scale, seed)
+    series = {p: list(r.aen) for p, r in runs.items()}
+    return FigureData(
+        "fig5",
+        f"Mean energy consumption per host (aen) vs time (speed {speed} m/s)",
+        "t(s)",
+        "aen",
+        series,
+        runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6 & 7: latency / delivery rate vs pause time
+# ----------------------------------------------------------------------
+def pause_sweep_runs(
+    speed: float,
+    scale: float,
+    seed: int,
+    pauses: Optional[Sequence[float]] = None,
+    protocols: Sequence[str] = COMPARED,
+) -> Dict[Tuple[str, float], ExperimentResult]:
+    """Shared workload behind Figs. 6 and 7.
+
+    The paper measures both at simulation time 590 s (where GRID's hosts
+    exhaust); scaled runs use the proportional horizon.
+    """
+    if pauses is None:
+        pauses = [p * scale for p in (0, 100, 200, 300, 400, 500, 600)]
+    horizon = 590.0 * scale
+    out: Dict[Tuple[str, float], ExperimentResult] = {}
+    for proto in protocols:
+        for pause in pauses:
+            cfg = _base(
+                speed,
+                scale,
+                seed,
+                protocol=proto,
+                pause_time_s=0.0,
+            )
+            cfg = replace(cfg, pause_time_s=pause, sim_time_s=horizon)
+            out[(proto, pause)] = run_experiment(cfg)
+    return out
+
+
+def fig6(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    runs: Optional[Dict[Tuple[str, float], ExperimentResult]] = None,
+) -> FigureData:
+    runs = runs or pause_sweep_runs(speed, scale, seed)
+    series: Dict[str, Series] = {}
+    for (proto, pause), r in runs.items():
+        series.setdefault(proto, []).append((pause, r.mean_latency_s * 1000.0))
+    for s in series.values():
+        s.sort()
+    return FigureData(
+        "fig6",
+        f"Packet delivery latency vs pause time (speed {speed} m/s)",
+        "pause(s)",
+        "latency (ms)",
+        series,
+        {f"{p}@{t:.0f}": r for (p, t), r in runs.items()},
+    )
+
+
+def fig7(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    runs: Optional[Dict[Tuple[str, float], ExperimentResult]] = None,
+) -> FigureData:
+    runs = runs or pause_sweep_runs(speed, scale, seed)
+    series: Dict[str, Series] = {}
+    for (proto, pause), r in runs.items():
+        series.setdefault(proto, []).append((pause, r.delivery_rate * 100.0))
+    for s in series.values():
+        s.sort()
+    return FigureData(
+        "fig7",
+        f"Packet delivery rate vs pause time (speed {speed} m/s)",
+        "pause(s)",
+        "delivery (%)",
+        series,
+        {f"{p}@{t:.0f}": r for (p, t), r in runs.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: alive fraction vs time across host densities
+# ----------------------------------------------------------------------
+def fig8(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    densities: Sequence[int] = (50, 100, 150, 200),
+    protocols: Sequence[str] = ("grid", "ecgrid"),
+) -> FigureData:
+    series: Dict[str, Series] = {}
+    results: Dict[str, ExperimentResult] = {}
+    for proto in protocols:
+        for n in densities:
+            cfg = _base(speed, scale, seed, protocol=proto, n_hosts=n)
+            label = f"{proto}-n{max(8, round(n * scale))}"
+            r = run_experiment(cfg)
+            series[label] = list(r.alive_fraction)
+            results[label] = r
+    return FigureData(
+        "fig8",
+        f"Alive hosts vs time across host density (speed {speed} m/s)",
+        "t(s)",
+        "alive fraction",
+        series,
+        results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices §3 calls out)
+# ----------------------------------------------------------------------
+def ablation_hello(
+    periods: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> FigureData:
+    """§4A attributes ECGRID's gap to GAF to HELLO overhead: sweep the
+    HELLO period and watch energy vs responsiveness trade."""
+    series: Dict[str, Series] = {"aen_end": [], "delivery_pct": [], "hello_sent": []}
+    results: Dict[str, ExperimentResult] = {}
+    for period in periods:
+        cfg = _base(speed, scale, seed, protocol="ecgrid")
+        cfg.params = replace(cfg.params, hello_period_s=period)
+        r = run_experiment(cfg)
+        series["aen_end"].append((period, r.aen.last()))
+        series["delivery_pct"].append((period, r.delivery_rate * 100.0))
+        series["hello_sent"].append((period, float(r.counters.get("hello_sent", 0))))
+        results[f"hello={period}"] = r
+    return FigureData(
+        "ablation-hello",
+        "ECGRID HELLO-period sweep",
+        "hello period (s)",
+        "aen / delivery% / count",
+        series,
+        results,
+    )
+
+
+def ablation_loadbalance(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> FigureData:
+    """§3.2's load-balance rotation: does disabling it concentrate
+    drain on long-lived gateways (earlier first death)?"""
+    series: Dict[str, Series] = {"first_death_s": [], "alive_end": [], "aen_end": []}
+    results: Dict[str, ExperimentResult] = {}
+    for flag in (False, True):
+        cfg = _base(speed, scale, seed, protocol="ecgrid")
+        cfg.params = replace(cfg.params, load_balance=flag)
+        r = run_experiment(cfg)
+        x = 1.0 if flag else 0.0
+        death = r.first_death_s if r.first_death_s is not None else cfg.sim_time_s
+        series["first_death_s"].append((x, death))
+        series["alive_end"].append((x, r.alive_fraction.last()))
+        series["aen_end"].append((x, r.aen.last()))
+        results[f"load_balance={flag}"] = r
+    return FigureData(
+        "ablation-loadbalance",
+        "ECGRID with/without load-balance gateway rotation",
+        "load_balance",
+        "seconds / fraction",
+        series,
+        results,
+    )
+
+
+def ablation_search_policy(
+    policies: Sequence[str] = ("bbox", "bbox_margin", "global"),
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> FigureData:
+    """§3.3's search-area confinement (the RREQ `range` field): the
+    bounding rectangle suppresses the broadcast storm; the margin ring
+    buys robustness to stale location info; `global` is plain AODV-ish
+    flooding over gateways."""
+    series: Dict[str, Series] = {
+        "rreq_forwarded": [], "delivery_pct": [], "latency_ms": []
+    }
+    results: Dict[str, ExperimentResult] = {}
+    for i, policy in enumerate(policies):
+        cfg = _base(speed, scale, seed, protocol="ecgrid")
+        cfg.params = replace(cfg.params, search_policy=policy)
+        r = run_experiment(cfg)
+        x = float(i)
+        series["rreq_forwarded"].append(
+            (x, float(r.counters.get("rreq_forwarded", 0)))
+        )
+        series["delivery_pct"].append((x, r.delivery_rate * 100.0))
+        series["latency_ms"].append((x, r.mean_latency_s * 1000.0))
+        results[policy] = r
+    return FigureData(
+        "ablation-search",
+        f"RREQ confinement policies {tuple(policies)}",
+        "policy index",
+        "count / % / ms",
+        series,
+        results,
+    )
+
+
+def ablation_gridsize(
+    sides: Sequence[float] = (50.0, 80.0, 100.0, 117.0),
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> FigureData:
+    """Grid side d vs the sqrt(2)r/3 bound: smaller cells mean more
+    gateways awake (less saving); the bound maximizes sleepers while
+    keeping gateway-to-gateway reachability."""
+    series: Dict[str, Series] = {"alive_end": [], "aen_end": [], "delivery_pct": []}
+    results: Dict[str, ExperimentResult] = {}
+    for side in sides:
+        cfg = _base(speed, scale, seed, protocol="ecgrid")
+        cfg = replace(cfg, cell_side_m=side)
+        r = run_experiment(cfg)
+        series["alive_end"].append((side, r.alive_fraction.last()))
+        series["aen_end"].append((side, r.aen.last()))
+        series["delivery_pct"].append((side, r.delivery_rate * 100.0))
+        results[f"d={side}"] = r
+    return FigureData(
+        "ablation-gridsize",
+        "ECGRID grid-side sweep (bound: sqrt(2)*250/3 = 117.85 m)",
+        "cell side (m)",
+        "fraction / %",
+        series,
+        results,
+    )

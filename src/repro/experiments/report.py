@@ -1,0 +1,78 @@
+"""Plain-text rendering of figure data (the harness's "plots")."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    series: Dict[str, Series],
+    y_format: str = "{:.3f}",
+    x_format: str = "{:.0f}",
+) -> str:
+    """Align several (x, y) series on their union of x values.
+
+    This is the textual equivalent of one paper figure: one row per x,
+    one column per curve.
+    """
+    xs: List[float] = sorted({x for s in series.values() for x, _ in s})
+    maps = {label: dict(s) for label, s in series.items()}
+    labels = list(series)
+    header = [x_label] + labels
+    rows: List[List[str]] = [header]
+    for x in xs:
+        row = [x_format.format(x)]
+        for label in labels:
+            y = maps[label].get(x)
+            row.append("-" if y is None else y_format.format(y))
+        rows.append(row)
+    return title + "\n" + _align(rows)
+
+
+def format_summary_table(title: str, rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict-rows (shared keys) as an aligned table."""
+    if not rows:
+        return title + "\n(no data)"
+    keys = list(rows[0].keys())
+    table = [keys]
+    for row in rows:
+        table.append([_cell(row.get(k)) for k in keys])
+    return title + "\n" + _align(table)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _align(rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(rows[0]))
+    ]
+    out = []
+    for r, row in enumerate(rows):
+        line = "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        out.append(line)
+        if r == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode plot of a series (for quick CLI inspection)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    picked = values[::step][:width]
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))]
+        for v in picked
+    )

@@ -1,0 +1,177 @@
+"""Build and execute experiments; collect the paper's figures of merit."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.protocol import EcGridProtocol
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.timeseries import TimeSeries
+from repro.net.network import Network, NetworkConfig
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.gaf import GafProtocol
+from repro.protocols.grid import GridProtocol
+
+
+def _make_factory(config: ExperimentConfig):
+    name = config.protocol
+    if name == "ecgrid":
+        return lambda node, params, counters: EcGridProtocol(node, params, counters)
+    if name == "grid":
+        return lambda node, params, counters: GridProtocol(node, params, counters)
+    if name == "gaf":
+        return lambda node, params, counters: GafProtocol(
+            node, params, counters, gaf=config.gaf
+        )
+    if name == "aodv":
+        from repro.protocols.aodv import AodvProtocol
+
+        return lambda node, params, counters: AodvProtocol(node, params, counters)
+    if name == "span":
+        from repro.protocols.span import SpanProtocol
+
+        return lambda node, params, counters: SpanProtocol(node, params, counters)
+    if name == "dsdv":
+        from repro.protocols.dsdv import DsdvProtocol
+
+        return lambda node, params, counters: DsdvProtocol(node, params, counters)
+    if name == "flooding":
+        return lambda node, params, counters: FloodingProtocol(node, params, counters)
+    raise ValueError(f"unknown protocol {name!r}")
+
+
+def build_network(config: ExperimentConfig) -> Network:
+    """Instantiate (but do not run) the scenario a config describes."""
+    config.validate()
+    from repro.phy.medium import MediumConfig
+
+    net_cfg = NetworkConfig(
+        width_m=config.width_m,
+        height_m=config.height_m,
+        cell_side_m=config.cell_side_m,
+        n_hosts=config.n_hosts,
+        n_endpoints=config.endpoints,
+        initial_energy_j=config.initial_energy_j,
+        min_speed_mps=config.min_speed_mps,
+        max_speed_mps=config.max_speed_mps,
+        pause_time_s=config.pause_time_s,
+        seed=config.seed,
+        sample_interval_s=config.sample_interval_s,
+        medium=MediumConfig(loss_model=config.loss_model),
+    )
+    network = Network(net_cfg, _make_factory(config), config.params)
+    if config.n_flows > 0:
+        network.add_random_flows(
+            config.n_flows,
+            config.flow_rate_pps,
+            config.packet_bytes,
+            endpoints_only=config.endpoints > 0,
+        )
+    return network
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the paper's figures read off one run."""
+
+    config: ExperimentConfig
+    alive_fraction: TimeSeries
+    aen: TimeSeries
+    sent: int
+    delivered: int
+    delivery_rate: float
+    #: Delivery over packets issued before the first host death — the
+    #: paper-comparable number (§4C measures before GRID's die-off).
+    delivery_rate_pre_death: float
+    mean_latency_s: float
+    latency_p95_s: float
+    mean_hops: float
+    duplicates: int
+    first_death_s: Optional[float]
+    all_dead_s: Optional[float]
+    counters: Dict[str, int] = field(default_factory=dict)
+    medium: Dict[str, int] = field(default_factory=dict)
+    events_executed: int = 0
+    wall_time_s: float = 0.0
+
+    # -- figure readouts -------------------------------------------------
+    def alive_at(self, t: float) -> float:
+        return self.alive_fraction.at(t)
+
+    def aen_at(self, t: float) -> float:
+        return self.aen.at(t)
+
+    def network_lifetime_s(self, threshold: float = 1.0) -> Optional[float]:
+        """First sampled time when the alive fraction drops below
+        ``threshold`` (1.0 => first death; 0+eps => network down)."""
+        return self.alive_fraction.first_time_below(threshold)
+
+    def summary(self) -> str:
+        lines = [
+            f"run: {self.config.describe()}",
+            (
+                f"  delivery {self.delivery_rate * 100:.2f}% "
+                f"({self.delivered}/{self.sent}, dup {self.duplicates}), "
+                f"latency mean {self.mean_latency_s * 1000:.2f} ms "
+                f"p95 {self.latency_p95_s * 1000:.2f} ms, "
+                f"hops {self.mean_hops:.2f}"
+            ),
+            (
+                f"  alive(end) {self.alive_fraction.last() * 100:.1f}%, "
+                f"aen(end) {self.aen.last():.3f}, "
+                f"first death {self._fmt(self.first_death_s)}, "
+                f"all dead {self._fmt(self.all_dead_s)}"
+            ),
+            (
+                f"  events {self.events_executed}, "
+                f"wall {self.wall_time_s:.2f}s, "
+                f"frames sent {self.medium.get('frames_sent', 0)}"
+            ),
+        ]
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(t: Optional[float]) -> str:
+        return "-" if t is None else f"{t:.0f}s"
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one full scenario and reduce it to a result record."""
+    t0 = time.perf_counter()
+    network = build_network(config)
+    network.run(until=config.sim_time_s)
+    wall = time.perf_counter() - t0
+
+    log = network.packet_log
+    med = network.medium.stats
+    return ExperimentResult(
+        config=config,
+        alive_fraction=network.sampler.alive_fraction,
+        aen=network.sampler.aen,
+        sent=log.sent_count,
+        delivered=log.delivered_count,
+        delivery_rate=log.delivery_rate(),
+        delivery_rate_pre_death=log.delivery_rate_until(
+            network.sampler.first_death_time
+            if network.sampler.first_death_time is not None
+            else config.sim_time_s
+        ),
+        mean_latency_s=log.mean_latency(),
+        latency_p95_s=log.latency_percentile(0.95),
+        mean_hops=log.mean_hops(),
+        duplicates=log.duplicates,
+        first_death_s=network.sampler.first_death_time,
+        all_dead_s=network.sampler.all_dead_time,
+        counters=network.counters.snapshot(),
+        medium={
+            "frames_sent": med.frames_sent,
+            "frames_delivered": med.frames_delivered,
+            "frames_corrupted": med.frames_corrupted,
+            "frames_missed_asleep": med.frames_missed_asleep,
+            "bytes_sent": med.bytes_sent,
+        },
+        events_executed=network.sim.events_executed,
+        wall_time_s=wall,
+    )

@@ -1,0 +1,84 @@
+"""ASCII snapshots of a live network — the debugger's map view.
+
+Renders the deployment area as the logical grid with one character per
+host, placed in its current cell:
+
+- ``G``  gateway (or GAF active node / Span coordinator)
+- ``a``  awake non-gateway
+- ``z``  sleeping host
+- ``x``  dead host
+- ``E``  endpoint (GAF Model 1)
+
+Multiple hosts in a cell show as a count.  Intended for examples and
+interactive debugging; it reads only public protocol state.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+def _glyph(node) -> str:
+    if not node.alive:
+        return "x"
+    if node.is_endpoint:
+        return "E"
+    proto = node.protocol
+    role = getattr(proto, "role", None)
+    coordinator = getattr(proto, "coordinator", False)
+    if coordinator:
+        return "G"
+    if role is not None:
+        value = getattr(role, "value", role)
+        if value == "gateway":
+            return "G"
+        if value == "sleeping":
+            return "z"
+    elif not node.awake:
+        return "z"
+    return "a"
+
+
+def render(network: "Network", legend: bool = True) -> str:
+    """A grid map of the network at the current simulation time."""
+    grid = network.grid
+    cells: dict = {}
+    for node in network.nodes:
+        cells.setdefault(grid.cell_of(node.position()), []).append(node)
+
+    lines: List[str] = []
+    header = "    " + "".join(f"{x % 10}" for x in range(grid.cols))
+    lines.append(f"t={network.sim.now:.1f}s  "
+                 f"alive={network.alive_fraction() * 100:.0f}%")
+    lines.append(header)
+    for y in range(grid.rows - 1, -1, -1):
+        row = []
+        for x in range(grid.cols):
+            nodes = cells.get((x, y), [])
+            if not nodes:
+                row.append(".")
+            elif len(nodes) == 1:
+                row.append(_glyph(nodes[0]))
+            else:
+                glyphs = {_glyph(n) for n in nodes}
+                # A cell with its gateway and sleepers shows the count;
+                # capital if a gateway is present.
+                count = min(len(nodes), 9)
+                row.append(str(count) if "G" in glyphs else str(count))
+        lines.append(f"{y:3d} " + "".join(row))
+    if legend:
+        lines.append("    G=gateway a=active z=sleeping x=dead E=endpoint "
+                     "n=count")
+    return "\n".join(lines)
+
+
+def role_census(network: "Network") -> dict:
+    """Counts per glyph — handy for assertions and progress lines."""
+    out: dict = {}
+    for node in network.nodes:
+        g = _glyph(node)
+        out[g] = out.get(g, 0) + 1
+    return out

@@ -1,0 +1,118 @@
+"""Replication across seeds: averaging series and summarizing scalars.
+
+One seed is one sample of the mobility/traffic/MAC randomness; the
+paper's curves are (implicitly) single ns-2 runs, but a credible
+reproduction should show the spread.  These helpers run the same
+config under several seeds and reduce the results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+Series = List[Tuple[float, float]]
+
+
+def run_replicates(
+    config: ExperimentConfig, seeds: Sequence[int]
+) -> List[ExperimentResult]:
+    """The same scenario under each seed."""
+    return [run_experiment(replace(config, seed=s)) for s in seeds]
+
+
+def mean_series(series_list: Sequence[Series]) -> Series:
+    """Pointwise mean over the x values all replicates share."""
+    if not series_list:
+        return []
+    common = set(x for x, _ in series_list[0])
+    for s in series_list[1:]:
+        common &= {x for x, _ in s}
+    maps = [dict(s) for s in series_list]
+    return [
+        (x, sum(m[x] for m in maps) / len(maps)) for x in sorted(common)
+    ]
+
+
+def stderr_series(series_list: Sequence[Series]) -> Series:
+    """Pointwise standard error over shared x values."""
+    if len(series_list) < 2:
+        return [(x, 0.0) for x, _ in (series_list[0] if series_list else [])]
+    common = set(x for x, _ in series_list[0])
+    for s in series_list[1:]:
+        common &= {x for x, _ in s}
+    maps = [dict(s) for s in series_list]
+    n = len(maps)
+    out: Series = []
+    for x in sorted(common):
+        vals = [m[x] for m in maps]
+        mean = sum(vals) / n
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+        out.append((x, math.sqrt(var / n)))
+    return out
+
+
+def average_figures(figs: Sequence[FigureData]) -> FigureData:
+    """Merge per-seed figures into one with mean curves.
+
+    All inputs must share figure id and series labels.
+    """
+    if not figs:
+        raise ValueError("need at least one figure")
+    first = figs[0]
+    labels = set(first.series)
+    for f in figs[1:]:
+        if f.figure_id != first.figure_id or set(f.series) != labels:
+            raise ValueError("figures are not replicates of each other")
+    series = {
+        label: mean_series([f.series[label] for f in figs])
+        for label in first.series
+    }
+    return FigureData(
+        first.figure_id,
+        f"{first.title}  (mean of {len(figs)} seeds)",
+        first.x_label,
+        first.y_label,
+        series,
+    )
+
+
+def replicate_figure(
+    figure_fn: Callable[..., FigureData],
+    seeds: Sequence[int],
+    *args,
+    **kwargs,
+) -> FigureData:
+    """Run ``figure_fn(..., seed=s)`` per seed and average the curves."""
+    figs = [figure_fn(*args, seed=s, **kwargs) for s in seeds]
+    return average_figures(figs)
+
+
+def summarize_scalars(
+    results: Sequence[ExperimentResult],
+) -> Dict[str, Tuple[float, float]]:
+    """(mean, sample stddev) of each headline scalar across replicates."""
+    def reduce(vals: List[float]) -> Tuple[float, float]:
+        n = len(vals)
+        mean = sum(vals) / n
+        if n < 2:
+            return (mean, 0.0)
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+        return (mean, math.sqrt(var))
+
+    horizon = results[0].config.sim_time_s
+    return {
+        "delivery_rate": reduce([r.delivery_rate for r in results]),
+        "mean_latency_s": reduce([r.mean_latency_s for r in results]),
+        "aen_end": reduce([r.aen.last() for r in results]),
+        "alive_end": reduce([r.alive_fraction.last() for r in results]),
+        "first_death_s": reduce([
+            r.first_death_s if r.first_death_s is not None else horizon
+            for r in results
+        ]),
+    }

@@ -1,0 +1,16 @@
+"""2D geometry: points, the logical grid partition, and search regions."""
+
+from repro.geo.vector import Vec2, distance
+from repro.geo.grid import GridCoord, GridMap, max_grid_side
+from repro.geo.region import Rect, bounding_region, whole_map_region
+
+__all__ = [
+    "Vec2",
+    "distance",
+    "GridCoord",
+    "GridMap",
+    "max_grid_side",
+    "Rect",
+    "bounding_region",
+    "whole_map_region",
+]

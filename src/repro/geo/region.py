@@ -1,0 +1,78 @@
+"""Rectangular search regions in grid-coordinate space.
+
+The RREQ ``range`` field confines route discovery: only gateways whose
+grid coordinate lies inside the region rebroadcast the request, which
+bounds the broadcast storm (paper §3.3).  The paper's example uses the
+smallest rectangle covering the source and destination grids; we expose
+an optional margin ring for the common "one ring slack" variant from
+the GRID paper.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.geo.grid import GridCoord, GridMap
+
+
+class Rect(NamedTuple):
+    """Inclusive rectangle in grid coordinates."""
+
+    xmin: int
+    ymin: int
+    xmax: int
+    ymax: int
+
+    def contains(self, cell: GridCoord) -> bool:
+        x, y = cell
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def expanded(self, margin: int) -> "Rect":
+        """A rectangle grown by ``margin`` cells on every side."""
+        return Rect(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def clipped(self, grid: GridMap) -> "Rect":
+        """Clip to the cells that exist in ``grid``."""
+        return Rect(
+            max(self.xmin, 0),
+            max(self.ymin, 0),
+            min(self.xmax, grid.cols - 1),
+            min(self.ymax, grid.rows - 1),
+        )
+
+    @property
+    def cell_count(self) -> int:
+        if self.xmax < self.xmin or self.ymax < self.ymin:
+            return 0
+        return (self.xmax - self.xmin + 1) * (self.ymax - self.ymin + 1)
+
+
+def bounding_region(
+    a: GridCoord,
+    b: GridCoord,
+    margin: int = 0,
+    grid: Optional[GridMap] = None,
+) -> Rect:
+    """Smallest rectangle covering cells ``a`` and ``b``, grown by
+    ``margin`` rings and clipped to ``grid`` if given."""
+    rect = Rect(
+        min(a[0], b[0]),
+        min(a[1], b[1]),
+        max(a[0], b[0]),
+        max(a[1], b[1]),
+    )
+    if margin:
+        rect = rect.expanded(margin)
+    if grid is not None:
+        rect = rect.clipped(grid)
+    return rect
+
+
+def whole_map_region(grid: GridMap) -> Rect:
+    """The region covering every cell (used for global re-search)."""
+    return Rect(0, 0, grid.cols - 1, grid.rows - 1)

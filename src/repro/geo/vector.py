@@ -1,0 +1,49 @@
+"""Tiny immutable 2D vector used for positions and velocities."""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Vec2(NamedTuple):
+    """A 2D point or vector in meters (world frame)."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":  # type: ignore[override]
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def scale(self, k: float) -> "Vec2":
+        return Vec2(self.x * k, self.y * k)
+
+    def dot(self, other: "Vec2") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def dist(self, other: "Vec2") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def unit(self) -> "Vec2":
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: self at t=0, other at t=1."""
+        return Vec2(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+
+def distance(a: Vec2, b: Vec2) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)

@@ -1,0 +1,6 @@
+"""Link layer: CSMA/CA medium access with unicast ACK/retry."""
+
+from repro.mac.frames import AckFrame, Frame, FrameKind
+from repro.mac.csma import CsmaMac, MacConfig, MacStats
+
+__all__ = ["Frame", "AckFrame", "FrameKind", "CsmaMac", "MacConfig", "MacStats"]

@@ -1,0 +1,44 @@
+"""MAC frame formats."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.packet import LINK_OVERHEAD_BYTES
+
+
+class FrameKind(enum.Enum):
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class Frame:
+    """A link-layer frame wrapping one upper-layer message."""
+
+    kind: FrameKind
+    src: int
+    dst: int            # node id or BROADCAST
+    seq: int
+    message: Any = None
+    wire_bytes: int = LINK_OVERHEAD_BYTES
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        inner = getattr(self.message, "describe", lambda: repr(self.message))()
+        return f"{self.kind.value}[{self.src}->{self.dst} seq={self.seq}] {inner}"
+
+
+#: Wire size of an ACK frame (802.11 ACKs are 14 bytes + PHY preamble).
+ACK_WIRE_BYTES = 14 + 24
+
+
+@dataclass
+class AckFrame:
+    """Acknowledgement for a unicast frame, addressed by (src, seq)."""
+
+    src: int    # the acker
+    dst: int    # the original sender
+    acked_seq: int
+    wire_bytes: int = ACK_WIRE_BYTES

@@ -1,0 +1,8 @@
+"""Measurement: packet bookkeeping, energy sampling, event counters."""
+
+from repro.metrics.timeseries import TimeSeries
+from repro.metrics.collectors import Counters, EnergySampler, PacketLog
+from repro.metrics.modes import ModeTracker
+from repro.metrics.sniffer import Sniffer, SniffedFrame
+
+__all__ = ["TimeSeries", "PacketLog", "EnergySampler", "Counters", "ModeTracker", "Sniffer", "SniffedFrame"]

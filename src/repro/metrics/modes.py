@@ -1,0 +1,85 @@
+"""Radio-mode time accounting: where does the energy actually go?
+
+Attaches to radios and accumulates, per node and in aggregate, the
+time spent in each radio mode (tx/rx/idle/sleep/off).  This is the
+measurement behind the paper's whole argument: GRID dies because the
+idle share is ~100%; ECGRID lives because sleep displaces idle.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, TYPE_CHECKING
+
+from repro.des.core import Simulator
+from repro.energy.profile import PowerProfile, RadioMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class ModeTracker:
+    """Tracks mode dwell times for a set of nodes.
+
+    Hooks each radio's ``on_mode_change``; call :meth:`finish` (or any
+    reader) after the run to fold in the final open interval.
+    """
+
+    def __init__(self, sim: Simulator, nodes: Iterable["Node"]) -> None:
+        self.sim = sim
+        self.nodes = list(nodes)
+        self._acc: Dict[int, Dict[RadioMode, float]] = {
+            n.id: defaultdict(float) for n in self.nodes
+        }
+        self._open: Dict[int, tuple] = {}
+        for node in self.nodes:
+            self._open[node.id] = (sim.now, node.radio.mode)
+            node.radio.on_mode_change = self._hook(node.id)
+
+    def _hook(self, node_id: int):
+        def on_change(_old: RadioMode, new: RadioMode) -> None:
+            t0, mode = self._open[node_id]
+            self._acc[node_id][mode] += self.sim.now - t0
+            self._open[node_id] = (self.sim.now, new)
+
+        return on_change
+
+    def _settle(self) -> None:
+        for node_id, (t0, mode) in self._open.items():
+            if self.sim.now > t0:
+                self._acc[node_id][mode] += self.sim.now - t0
+                self._open[node_id] = (self.sim.now, mode)
+
+    # ------------------------------------------------------------------
+    def node_times(self, node_id: int) -> Dict[RadioMode, float]:
+        """Seconds per mode for one node (up to the current time)."""
+        self._settle()
+        return dict(self._acc[node_id])
+
+    def total_times(self) -> Dict[RadioMode, float]:
+        """Aggregate seconds per mode over all tracked nodes."""
+        self._settle()
+        out: Dict[RadioMode, float] = defaultdict(float)
+        for per_node in self._acc.values():
+            for mode, t in per_node.items():
+                out[mode] += t
+        return dict(out)
+
+    def mode_shares(self) -> Dict[str, float]:
+        """Fraction of total node-time per mode (sums to 1)."""
+        totals = self.total_times()
+        whole = sum(totals.values())
+        if whole <= 0.0:
+            return {}
+        return {m.value: t / whole for m, t in totals.items()}
+
+    def energy_shares(self, profile: PowerProfile) -> Dict[str, float]:
+        """Fraction of total consumed energy attributable to each mode."""
+        totals = self.total_times()
+        joules = {
+            m: t * profile.total_power(m) for m, t in totals.items()
+        }
+        whole = sum(joules.values())
+        if whole <= 0.0:
+            return {}
+        return {m.value: j / whole for m, j in joules.items()}

@@ -1,0 +1,60 @@
+"""A minimal sampled time series with the reductions the figures need."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` samples with monotone times."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, t: float, v: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("samples must be appended in time order")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def at(self, t: float) -> float:
+        """Most recent sample value at or before ``t`` (step-wise hold)."""
+        if not self.times:
+            raise ValueError("empty series")
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ValueError(f"t={t} precedes first sample {self.times[0]}")
+        return self.values[i]
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError("empty series")
+        return self.values[-1]
+
+    def first_time_below(self, threshold: float) -> Optional[float]:
+        """Earliest sample time with value < threshold (None if never).
+
+        Used for lifetime readings like "when did the alive fraction
+        drop below 1.0 / 0.5 / 0".
+        """
+        for t, v in self:
+            if v < threshold:
+                return t
+        return None
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError("empty series")
+        return sum(self.values) / len(self.values)
+
+    def rows(self) -> Sequence[Tuple[float, float]]:
+        return list(zip(self.times, self.values))

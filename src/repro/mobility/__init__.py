@@ -1,0 +1,26 @@
+"""Mobility models.
+
+All models expose trajectories as piecewise-linear *segments*; positions,
+velocities, grid-cell crossing times and dwell estimates are computed in
+closed form from the segments — there is no per-timestep position loop
+anywhere in the simulator.
+"""
+
+from repro.mobility.base import MobilityModel, Segment, next_cell_crossing
+from repro.mobility.waypoint import RandomWaypoint
+from repro.mobility.direction import RandomDirection
+from repro.mobility.static import StaticPosition
+from repro.mobility.trace import TraceMobility, record_trace
+from repro.mobility.dwell import estimate_dwell_time
+
+__all__ = [
+    "MobilityModel",
+    "Segment",
+    "next_cell_crossing",
+    "RandomWaypoint",
+    "RandomDirection",
+    "StaticPosition",
+    "TraceMobility",
+    "record_trace",
+    "estimate_dwell_time",
+]

@@ -1,0 +1,100 @@
+"""Random-direction mobility.
+
+The classic alternative to random waypoint: pick a heading and a speed,
+travel until hitting the area boundary (or for an exponential epoch),
+pause, pick a new heading.  Unlike random waypoint, the stationary
+node distribution is *uniform* — no center-of-area density bulge — so
+comparing results across the two models separates protocol effects
+from RWP's well-known density artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.geo.vector import Vec2
+from repro.mobility.base import MobilityModel, Segment
+from repro.mobility.waypoint import SPEED_FLOOR
+
+
+class RandomDirection(MobilityModel):
+    """Travel on a random heading to the boundary, pause, repeat."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        width: float,
+        height: float,
+        min_speed: float = 0.0,
+        max_speed: float = 1.0,
+        pause_time: float = 0.0,
+        start: Optional[Vec2] = None,
+        start_time: float = 0.0,
+        speed_floor: float = SPEED_FLOOR,
+    ) -> None:
+        super().__init__(start_time)
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        if min_speed < 0 or min_speed > max_speed:
+            raise ValueError("need 0 <= min_speed <= max_speed")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.rng = rng
+        self.width = width
+        self.height = height
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self.speed_floor = speed_floor
+        self._pos = start if start is not None else Vec2(
+            rng.uniform(0.0, width), rng.uniform(0.0, height)
+        )
+        self._time = start_time
+        self._pausing = False
+
+    def _boundary_hit(self, pos: Vec2, direction: Vec2) -> Vec2:
+        """The first point where a ray from ``pos`` leaves the area."""
+        best_t = math.inf
+        if direction.x > 0:
+            best_t = min(best_t, (self.width - pos.x) / direction.x)
+        elif direction.x < 0:
+            best_t = min(best_t, (0.0 - pos.x) / direction.x)
+        if direction.y > 0:
+            best_t = min(best_t, (self.height - pos.y) / direction.y)
+        elif direction.y < 0:
+            best_t = min(best_t, (0.0 - pos.y) / direction.y)
+        return Vec2(
+            min(max(pos.x + direction.x * best_t, 0.0), self.width),
+            min(max(pos.y + direction.y * best_t, 0.0), self.height),
+        )
+
+    def _generate_next(self) -> Segment:
+        if self._pausing and self.pause_time > 0.0:
+            seg = Segment(self._time, self._time + self.pause_time,
+                          self._pos, Vec2(0.0, 0.0))
+            self._time = seg.t1
+            self._pausing = False
+            return seg
+        self._pausing = True
+        theta = self.rng.uniform(0.0, 2.0 * math.pi)
+        direction = Vec2(math.cos(theta), math.sin(theta))
+        dest = self._boundary_hit(self._pos, direction)
+        speed = max(self.speed_floor,
+                    self.rng.uniform(self.min_speed, self.max_speed))
+        leg = dest - self._pos
+        length = leg.norm()
+        if length < 1e-9:
+            # Already on the boundary heading outward: bounce with a
+            # short pause and redraw next time.
+            seg = Segment(self._time, self._time + 1.0, self._pos,
+                          Vec2(0.0, 0.0))
+            self._time = seg.t1
+            return seg
+        duration = length / speed
+        seg = Segment(self._time, self._time + duration, self._pos,
+                      leg.scale(speed / length))
+        self._pos = dest
+        self._time = seg.t1
+        return seg

@@ -1,0 +1,55 @@
+"""Grid dwell-time estimation (paper §3.2).
+
+Before sleeping, a host sets its wake-up timer to "the estimated dwell
+duration over which the host is expected to remain in its current
+grid", computed from its *current* location and velocity (both read
+from the GPS).  The host does not know its future waypoints, so the
+estimate is a straight-line extrapolation of the current velocity; a
+paused host (zero velocity) would dwell forever, so the estimate is
+capped and the host re-checks on wake.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.grid import GridMap
+from repro.geo.vector import Vec2
+
+
+def straight_line_exit_time(
+    pos: Vec2, vel: Vec2, grid: GridMap
+) -> float:
+    """Seconds until a point at ``pos`` moving at constant ``vel`` exits
+    the grid cell containing ``pos``; ``inf`` if it never does."""
+    x0, y0, x1, y1 = grid.cell_bounds(grid.cell_of(pos))
+    out = math.inf
+    if vel.x > 0:
+        out = min(out, (x1 - pos.x) / vel.x)
+    elif vel.x < 0:
+        out = min(out, (x0 - pos.x) / vel.x)
+    if vel.y > 0:
+        out = min(out, (y1 - pos.y) / vel.y)
+    elif vel.y < 0:
+        out = min(out, (y0 - pos.y) / vel.y)
+    return max(out, 0.0)
+
+
+def estimate_dwell_time(
+    pos: Vec2,
+    vel: Vec2,
+    grid: GridMap,
+    min_dwell: float = 1.0,
+    max_dwell: float = 60.0,
+) -> float:
+    """The sleep-timer duration per the paper's dwell heuristic.
+
+    Clamped to ``[min_dwell, max_dwell]``: the lower bound avoids
+    wake-up thrashing right at a boundary, the upper bound makes a
+    paused host revalidate its gateway occasionally (and bounds the
+    error of the straight-line extrapolation).
+    """
+    raw = straight_line_exit_time(pos, vel, grid)
+    if math.isinf(raw):
+        return max_dwell
+    return min(max(raw, min_dwell), max_dwell)

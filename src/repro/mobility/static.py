@@ -1,0 +1,22 @@
+"""A host that never moves (infrastructure nodes, unit tests)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.vector import Vec2
+from repro.mobility.base import MobilityModel, Segment
+
+
+class StaticPosition(MobilityModel):
+    """A single infinite zero-velocity segment at ``pos``."""
+
+    def __init__(self, pos: Vec2, start_time: float = 0.0) -> None:
+        super().__init__(start_time)
+        self.pos = pos
+        self._segments.append(
+            Segment(start_time, math.inf, pos, Vec2(0.0, 0.0))
+        )
+
+    def _generate_next(self) -> Segment:  # pragma: no cover - unreachable
+        raise AssertionError("static trajectory has no further segments")

@@ -1,0 +1,57 @@
+"""Trajectory traces: replaying explicit waypoint lists, and recording
+traces from live models (for regression tests and debugging)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.geo.vector import Vec2
+from repro.mobility.base import MobilityModel, Segment
+
+TracePoint = Tuple[float, Vec2]
+
+
+class TraceMobility(MobilityModel):
+    """Replay a list of timestamped waypoints.
+
+    Between consecutive waypoints the node moves linearly; after the
+    last waypoint it stays put forever.  Waypoint times must be strictly
+    increasing.
+    """
+
+    def __init__(self, points: Sequence[TracePoint]) -> None:
+        if not points:
+            raise ValueError("trace needs at least one waypoint")
+        times = [t for t, _ in points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+        super().__init__(start_time=points[0][0])
+        for (t0, p0), (t1, p1) in zip(points, points[1:]):
+            v = (p1 - p0).scale(1.0 / (t1 - t0))
+            self._segments.append(Segment(t0, t1, p0, v))
+        last_t, last_p = points[-1]
+        self._segments.append(Segment(last_t, math.inf, last_p, Vec2(0.0, 0.0)))
+
+    def _generate_next(self) -> Segment:  # pragma: no cover - unreachable
+        raise AssertionError("trace trajectory has no further segments")
+
+
+def record_trace(
+    model: MobilityModel, start: float, until: float, step: float
+) -> List[TracePoint]:
+    """Sample ``model`` every ``step`` seconds into a waypoint list.
+
+    The sampled trace replayed through :class:`TraceMobility` matches the
+    source model exactly at sample instants and approximately between
+    them (exactly, if ``step`` divides every segment).
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    points: List[TracePoint] = []
+    t = start
+    while t < until:
+        points.append((t, model.position(t)))
+        t += step
+    points.append((until, model.position(until)))
+    return points

@@ -1,0 +1,96 @@
+"""Random waypoint mobility (the paper's §4 movement model).
+
+A host repeatedly picks a destination uniformly in the area and a speed
+uniformly in ``(min_speed, max_speed]``, travels there in a straight
+line, pauses for ``pause_time``, and repeats.  The paper uses speed
+ranges 0–1 m/s and 0–10 m/s with pause times 0–600 s.
+
+A strictly-zero speed draw would stall a leg forever, so draws are
+floored at ``speed_floor`` (1 mm/s) — the standard fix for the
+random-waypoint harmonic-mean pathology, far below any speed that
+affects results.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.geo.vector import Vec2
+from repro.mobility.base import MobilityModel, Segment
+
+SPEED_FLOOR = 1e-3
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint over ``[0, width] x [0, height]``."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        width: float,
+        height: float,
+        min_speed: float = 0.0,
+        max_speed: float = 1.0,
+        pause_time: float = 0.0,
+        start: Optional[Vec2] = None,
+        start_time: float = 0.0,
+        speed_floor: float = SPEED_FLOOR,
+    ) -> None:
+        super().__init__(start_time)
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        if min_speed < 0 or min_speed > max_speed:
+            raise ValueError("need 0 <= min_speed <= max_speed")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.rng = rng
+        self.width = width
+        self.height = height
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self.speed_floor = speed_floor
+        self._pos = start if start is not None else self._random_point()
+        self._time = start_time
+        self._pausing = False  # next generated segment alternates move/pause
+
+    def _random_point(self) -> Vec2:
+        return Vec2(
+            self.rng.uniform(0.0, self.width),
+            self.rng.uniform(0.0, self.height),
+        )
+
+    def _generate_next(self) -> Segment:
+        if self._pausing and self.pause_time > 0.0:
+            seg = Segment(
+                self._time,
+                self._time + self.pause_time,
+                self._pos,
+                Vec2(0.0, 0.0),
+            )
+            self._time = seg.t1
+            self._pausing = False
+            return seg
+        self._pausing = True
+        dest = self._random_point()
+        speed = max(
+            self.speed_floor, self.rng.uniform(self.min_speed, self.max_speed)
+        )
+        leg = dest - self._pos
+        length = leg.norm()
+        if length == 0.0:
+            # Degenerate draw: emit a tiny pause and try again next call.
+            seg = Segment(self._time, self._time + 1.0, self._pos, Vec2(0.0, 0.0))
+            self._time = seg.t1
+            return seg
+        duration = length / speed
+        seg = Segment(
+            self._time,
+            self._time + duration,
+            self._pos,
+            leg.scale(1.0 / length).scale(speed),
+        )
+        self._pos = dest
+        self._time = seg.t1
+        return seg

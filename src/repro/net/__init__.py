@@ -1,0 +1,14 @@
+"""Network glue: packets, nodes, and scenario construction."""
+
+from repro.net.packet import BROADCAST, DataPacket, Message
+from repro.net.node import Node
+from repro.net.network import Network, NetworkConfig
+
+__all__ = [
+    "BROADCAST",
+    "Message",
+    "DataPacket",
+    "Node",
+    "Network",
+    "NetworkConfig",
+]

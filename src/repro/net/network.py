@@ -1,0 +1,198 @@
+"""Scenario construction: build a whole MANET from one config."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.des.core import Simulator
+from repro.energy.battery import Battery
+from repro.energy.profile import PAPER_PROFILE, PowerProfile
+from repro.geo.grid import GridMap, max_grid_side
+from repro.mac.csma import MacConfig
+from repro.metrics.collectors import Counters, EnergySampler, PacketLog
+from repro.mobility.waypoint import RandomWaypoint
+from repro.net.node import Node
+from repro.net.packet import DataPacket
+from repro.phy.medium import Medium, MediumConfig
+from repro.phy.ras import RasChannel, RasConfig
+from repro.protocols.base import ProtocolParams, RoutingProtocol
+from repro.traffic.cbr import CbrFlow
+from repro.traffic.flowset import FlowSpec, build_flows, pick_random_pairs
+
+ProtocolFactory = Callable[[Node, ProtocolParams, Counters], RoutingProtocol]
+
+
+@dataclass
+class NetworkConfig:
+    """Physical scenario parameters (defaults = paper §4)."""
+
+    width_m: float = 1000.0
+    height_m: float = 1000.0
+    cell_side_m: float = 100.0
+    n_hosts: int = 100
+    #: Infinite-energy, always-active endpoint hosts (GAF "Model 1").
+    n_endpoints: int = 0
+    initial_energy_j: float = 500.0
+    min_speed_mps: float = 0.0
+    max_speed_mps: float = 1.0
+    pause_time_s: float = 0.0
+    seed: int = 1
+    medium: MediumConfig = field(default_factory=MediumConfig)
+    mac: MacConfig = field(default_factory=MacConfig)
+    ras: RasConfig = field(default_factory=RasConfig)
+    profile: PowerProfile = PAPER_PROFILE
+    sample_interval_s: float = 10.0
+
+    def validate(self) -> None:
+        if self.n_hosts < 1:
+            raise ValueError("need at least one host")
+        bound = max_grid_side(self.medium.range_m)
+        if self.cell_side_m > bound + 1e-9:
+            raise ValueError(
+                f"cell side {self.cell_side_m} m violates the gateway "
+                f"reachability constraint sqrt(2)*r/3 = {bound:.2f} m"
+            )
+
+
+class Network:
+    """A fully wired scenario: simulator, grid, channel, hosts, metrics.
+
+    ``protocol_factory(node, params, counters)`` attaches the routing
+    protocol to each host; endpoints (``node.is_endpoint``) may be given
+    different behaviour by the factory (GAF Model 1).
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        protocol_factory: ProtocolFactory,
+        params: Optional[ProtocolParams] = None,
+        mobility_factory: Optional[Callable[["Network", int], object]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.params = params or ProtocolParams()
+        self.sim = Simulator(seed=config.seed)
+        self.grid = GridMap(config.width_m, config.height_m, config.cell_side_m)
+        self.medium = Medium(self.sim, self.grid, config.medium)
+        self.ras = RasChannel(self.sim, self.medium, self.grid, config.ras)
+        self.counters = Counters()
+        self.packet_log = PacketLog()
+        self.flows: List[CbrFlow] = []
+
+        self.nodes: List[Node] = []
+        total = config.n_hosts + config.n_endpoints
+        for node_id in range(total):
+            is_endpoint = node_id >= config.n_hosts
+            if mobility_factory is not None:
+                mobility = mobility_factory(self, node_id)
+            else:
+                mobility = RandomWaypoint(
+                    self.sim.rng.stream(f"mob-{node_id}"),
+                    config.width_m,
+                    config.height_m,
+                    config.min_speed_mps,
+                    config.max_speed_mps,
+                    config.pause_time_s,
+                )
+            battery = Battery(
+                math.inf if is_endpoint else config.initial_energy_j
+            )
+            node = Node(
+                self.sim,
+                node_id,
+                mobility,
+                self.grid,
+                self.medium,
+                self.ras,
+                config.profile,
+                battery,
+                mac_config=config.mac,
+                is_endpoint=is_endpoint,
+            )
+            node.protocol = protocol_factory(node, self.params, self.counters)
+            node.app_sink = self._on_app_delivery
+            node.death_sink = self._on_node_death
+            self.nodes.append(node)
+
+        self.nodes_by_id: Dict[int, Node] = {n.id: n for n in self.nodes}
+        self.sampler = EnergySampler(
+            self.sim, self.nodes, config.sample_interval_s
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def add_flows(self, specs: Sequence[FlowSpec]) -> List[CbrFlow]:
+        flows = build_flows(self.sim, self.nodes_by_id, specs, self.packet_log)
+        self.flows.extend(flows)
+        return flows
+
+    def add_random_flows(
+        self,
+        n_flows: int,
+        rate_pps: float,
+        size_bytes: int = 512,
+        endpoints_only: bool = False,
+    ) -> List[CbrFlow]:
+        """Random (src, dst) CBR flows.
+
+        ``endpoints_only`` restricts the draw to Model-1 endpoints (GAF);
+        otherwise any host may be chosen (Model 2).
+        """
+        if endpoints_only:
+            candidates = [n.id for n in self.nodes if n.is_endpoint]
+        else:
+            candidates = [n.id for n in self.nodes]
+        pairs = pick_random_pairs(
+            self.sim.rng.stream("flows"), candidates, n_flows
+        )
+        specs = [
+            FlowSpec(src, dst, rate_pps, size_bytes) for src, dst in pairs
+        ]
+        return self.add_flows(specs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sampler.start()
+        for node in self.nodes:
+            node.start()
+
+    def run(self, until: float) -> None:
+        self.start()
+        self.sim.run(until=until)
+        self.sampler.sample()
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    def alive_fraction(self) -> float:
+        finite = [n for n in self.nodes if not n.battery.infinite]
+        if not finite:
+            return 1.0
+        return sum(1 for n in finite if n.alive) / len(finite)
+
+    def aen(self) -> float:
+        """Mean normalized per-host energy consumption (paper eq. 2)."""
+        finite = [n for n in self.nodes if not n.battery.infinite]
+        if not finite:
+            return 0.0
+        now = self.sim.now
+        total0 = sum(n.battery.capacity_j for n in finite)
+        remaining = sum(n.battery.remaining_at(now) for n in finite)
+        return (total0 - remaining) / total0
+
+    # ------------------------------------------------------------------
+    def _on_app_delivery(self, node: Node, packet: DataPacket) -> None:
+        self.packet_log.on_delivered(packet, self.sim.now)
+
+    def _on_node_death(self, node: Node) -> None:
+        self.sampler.note_death(self.sim.now)

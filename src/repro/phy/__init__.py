@@ -1,0 +1,7 @@
+"""Physical layer: radios, the shared wireless medium, and RAS paging."""
+
+from repro.phy.radio import Radio
+from repro.phy.medium import Medium, MediumConfig
+from repro.phy.ras import RasChannel
+
+__all__ = ["Radio", "Medium", "MediumConfig", "RasChannel"]

@@ -1,0 +1,251 @@
+"""The shared wireless medium.
+
+Unit-disk propagation over a grid-bucket spatial index: every awake,
+non-transmitting radio within ``range_m`` of a transmitter receives the
+frame (and pays RX energy for its airtime — overhearing).  Two frames
+overlapping in time at a common receiver collide and both are lost at
+that receiver, unless collisions are disabled in the config.
+
+Design notes
+------------
+- One simulator event per transmission (its completion), not one per
+  receiver: receiver bookkeeping is plain arithmetic at begin/end, which
+  keeps the event count per frame O(1).
+- Positions are evaluated lazily at transmission start; node motion over
+  a frame's ~2 ms airtime is micrometers and is ignored.
+- The bucket index shares the routing :class:`~repro.geo.grid.GridMap`;
+  buckets are updated by the node's already-scheduled grid-crossing
+  events, so membership is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.des.core import Simulator
+from repro.geo.grid import GridCoord, GridMap
+from repro.geo.vector import Vec2
+from repro.phy.radio import Radio
+
+
+@dataclass
+class MediumConfig:
+    """Channel parameters (defaults = the paper's evaluation, §4)."""
+
+    bandwidth_bps: float = 2_000_000.0
+    range_m: float = 250.0
+    propagation_delay_s: float = 1e-6
+    model_collisions: bool = True
+    #: Carrier-sense range; None means equal to ``range_m``.
+    sense_range_m: Optional[float] = None
+    #: Link model: "unit_disk" (default; reception certain within range)
+    #: or "gray_zone" — reception certain up to ``gray_zone_start_frac``
+    #: of the range, then decaying linearly to zero at the range edge
+    #: (the lossy fringe real 802.11 measurements show).
+    loss_model: str = "unit_disk"
+    gray_zone_start_frac: float = 0.75
+
+    @property
+    def sense_range(self) -> float:
+        return self.range_m if self.sense_range_m is None else self.sense_range_m
+
+    def reception_probability(self, distance: float) -> float:
+        """P(frame decodes) at ``distance`` under the configured model."""
+        if distance > self.range_m:
+            return 0.0
+        if self.loss_model == "unit_disk":
+            return 1.0
+        knee = self.gray_zone_start_frac * self.range_m
+        if distance <= knee:
+            return 1.0
+        return (self.range_m - distance) / (self.range_m - knee)
+
+
+class _Reception:
+    __slots__ = ("receiver", "corrupted")
+
+    def __init__(self, receiver: Radio) -> None:
+        self.receiver = receiver
+        self.corrupted = False
+
+
+class _Transmission:
+    __slots__ = ("sender", "pos", "end_time", "receptions")
+
+    def __init__(self, sender: Radio, pos: Vec2, end_time: float) -> None:
+        self.sender = sender
+        self.pos = pos
+        self.end_time = end_time
+        self.receptions: List[_Reception] = []
+
+
+@dataclass
+class MediumStats:
+    """Aggregate channel counters for metrics and tests."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_corrupted: int = 0
+    frames_missed_asleep: int = 0
+    bytes_sent: int = 0
+
+
+class Medium:
+    """The one shared channel all radios attach to."""
+
+    def __init__(
+        self, sim: Simulator, grid: GridMap, config: Optional[MediumConfig] = None
+    ) -> None:
+        self.sim = sim
+        self.grid = grid
+        self.config = config or MediumConfig()
+        self.stats = MediumStats()
+        #: How many bucket rings cover the radio range.
+        self._ring = max(
+            1, -(-int(self.config.range_m) // max(1, int(grid.cell_side)))
+        )
+        # Buckets are dicts keyed by node id (insertion-ordered): set
+        # iteration order would depend on object addresses and break
+        # run-to-run determinism.
+        self._buckets: Dict[GridCoord, Dict[int, Radio]] = {}
+        self._cells: Dict[int, GridCoord] = {}
+        self._active: List[_Transmission] = []
+        self._rx_in_progress: Dict[int, List[_Reception]] = {}
+        self._loss_rng = sim.rng.stream("phy-loss")
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, radio: Radio) -> None:
+        cell = self.grid.cell_of(radio.position())
+        self._buckets.setdefault(cell, {})[radio.node_id] = radio
+        self._cells[radio.node_id] = cell
+
+    def unregister(self, radio: Radio) -> None:
+        cell = self._cells.pop(radio.node_id, None)
+        if cell is not None:
+            self._buckets.get(cell, {}).pop(radio.node_id, None)
+
+    def update_cell(self, radio: Radio) -> None:
+        """Re-bucket a radio after its node crossed a cell boundary."""
+        new_cell = self.grid.cell_of(radio.position())
+        old_cell = self._cells.get(radio.node_id)
+        if new_cell == old_cell:
+            return
+        if old_cell is not None:
+            self._buckets.get(old_cell, {}).pop(radio.node_id, None)
+        self._buckets.setdefault(new_cell, {})[radio.node_id] = radio
+        self._cells[radio.node_id] = new_cell
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def airtime(self, wire_bytes: int) -> float:
+        """Seconds the channel is occupied by a frame of ``wire_bytes``."""
+        return wire_bytes * 8.0 / self.config.bandwidth_bps
+
+    def radios_near(self, pos: Vec2, radius: float) -> List[Radio]:
+        """All registered radios within ``radius`` of ``pos``."""
+        out: List[Radio] = []
+        ring = self._ring if radius <= self.config.range_m else max(
+            1, -(-int(radius) // max(1, int(self.grid.cell_side)))
+        )
+        center = self.grid.cell_of(pos)
+        r2 = radius * radius
+        for cell in self.grid.cells_within(center, ring):
+            bucket = self._buckets.get(cell)
+            if not bucket:
+                continue
+            for radio in bucket.values():
+                p = radio.position()
+                dx = p.x - pos.x
+                dy = p.y - pos.y
+                if dx * dx + dy * dy <= r2:
+                    out.append(radio)
+        return out
+
+    def channel_busy(self, radio: Radio) -> bool:
+        """Carrier sense: is any in-flight transmission audible here?"""
+        if not self._active:
+            return False
+        pos = radio.position()
+        sense2 = self.config.sense_range ** 2
+        for tx in self._active:
+            if tx.sender is radio:
+                return True
+            dx = tx.pos.x - pos.x
+            dy = tx.pos.y - pos.y
+            if dx * dx + dy * dy <= sense2:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, sender: Radio, payload: object, wire_bytes: int) -> float:
+        """Put a frame on the air.  Returns its airtime.
+
+        Delivery (or corruption) resolves at airtime + propagation
+        delay via a single completion event.
+        """
+        duration = self.airtime(wire_bytes)
+        pos = sender.position()
+        sender.begin_tx()
+        tx = _Transmission(sender, pos, self.sim.now + duration)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += wire_bytes
+
+        for radio in self.radios_near(pos, self.config.range_m):
+            if radio is sender:
+                continue
+            if not radio.can_receive:
+                if radio.alive and not radio.awake:
+                    self.stats.frames_missed_asleep += 1
+                continue
+            rec = _Reception(radio)
+            if self.config.loss_model != "unit_disk":
+                p = self.config.reception_probability(
+                    pos.dist(radio.position())
+                )
+                if p < 1.0 and self._loss_rng.random() >= p:
+                    # Fringe loss: the radio still hears energy (pays
+                    # RX) but the frame does not decode.
+                    rec.corrupted = True
+            ongoing = self._rx_in_progress.setdefault(radio.node_id, [])
+            if ongoing and self.config.model_collisions:
+                rec.corrupted = True
+                for other in ongoing:
+                    other.corrupted = True
+            ongoing.append(rec)
+            radio.begin_rx()
+            tx.receptions.append(rec)
+
+        self._active.append(tx)
+        self.sim.after(
+            duration + self.config.propagation_delay_s,
+            self._finish,
+            tx,
+            payload,
+        )
+        return duration
+
+    def _finish(self, tx: _Transmission, payload: object) -> None:
+        self._active.remove(tx)
+        tx.sender.end_tx()
+        for rec in tx.receptions:
+            radio = rec.receiver
+            radio.end_rx()
+            ongoing = self._rx_in_progress.get(radio.node_id)
+            if ongoing and rec in ongoing:
+                ongoing.remove(rec)
+            if rec.corrupted:
+                self.stats.frames_corrupted += 1
+                continue
+            # Half-duplex / mid-frame sleep: a receiver that started
+            # transmitting or went to sleep during the frame loses it.
+            if not radio.can_receive:
+                self.stats.frames_corrupted += 1
+                continue
+            self.stats.frames_delivered += 1
+            radio.deliver(payload, tx.sender.node_id)

@@ -1,0 +1,145 @@
+"""Radio state machine with energy-accounted mode transitions.
+
+The *effective* mode combines a protocol-chosen base mode (IDLE, SLEEP,
+OFF) with transient transmit/receive activity:
+
+- transmitting           -> TX
+- receiving (>=1 frames) -> RX   (includes overhearing neighbors' frames)
+- otherwise              -> base mode
+
+Every effective-mode change updates the battery draw through the node's
+:class:`~repro.energy.accounting.BatteryMonitor`, so energy is the exact
+integral of the mode timeline.  Overhearing is charged at RX power —
+this is the physical effect that makes always-on protocols (GRID) burn
+through batteries, i.e. the phenomenon the paper is about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.energy.accounting import BatteryMonitor
+from repro.energy.profile import PowerProfile, RadioMode
+
+#: Sink invoked with (payload, sender_id) when a frame is received intact.
+FrameSink = Callable[[object, int], None]
+
+
+class Radio:
+    """One host's transceiver."""
+
+    def __init__(
+        self,
+        node_id: int,
+        position_fn: Callable[[], object],
+        profile: PowerProfile,
+        monitor: BatteryMonitor,
+    ) -> None:
+        self.node_id = node_id
+        self.position_fn = position_fn
+        self.profile = profile
+        self.monitor = monitor
+        self.base_mode = RadioMode.IDLE
+        self.transmitting = False
+        self.rx_count = 0
+        self.frame_sink: Optional[FrameSink] = None
+        self.on_mode_change: Optional[Callable[[RadioMode, RadioMode], None]] = None
+        self._effective = RadioMode.IDLE
+        # Establish the initial draw.
+        self.monitor.set_draw(profile.total_power(self._effective))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> RadioMode:
+        """Current effective mode."""
+        return self._effective
+
+    @property
+    def awake(self) -> bool:
+        """True when the transceiver is powered (can sense/tx/rx)."""
+        return self.base_mode is RadioMode.IDLE
+
+    @property
+    def alive(self) -> bool:
+        return self.base_mode is not RadioMode.OFF
+
+    @property
+    def can_receive(self) -> bool:
+        """Half-duplex: an awake radio receives only while not sending."""
+        return self.awake and not self.transmitting
+
+    def position(self):
+        """Current world position (delegates to the node's mobility)."""
+        return self.position_fn()
+
+    # ------------------------------------------------------------------
+    # Protocol-driven base mode
+    # ------------------------------------------------------------------
+    def sleep(self) -> None:
+        """Power the transceiver down (host stays alive; RAS still works)."""
+        if self.base_mode is RadioMode.OFF:
+            return
+        self.base_mode = RadioMode.SLEEP
+        # Any in-flight receptions are lost; the medium notices via
+        # ``can_receive`` at delivery time.
+        self.rx_count = 0
+        self._update()
+
+    def wake(self) -> None:
+        """Power the transceiver up into idle."""
+        if self.base_mode is RadioMode.OFF:
+            return
+        self.base_mode = RadioMode.IDLE
+        self._update()
+
+    def power_off(self) -> None:
+        """Battery exhausted: the radio is gone for good."""
+        self.base_mode = RadioMode.OFF
+        self.rx_count = 0
+        self.transmitting = False
+        self._update()
+
+    # ------------------------------------------------------------------
+    # Medium-driven activity
+    # ------------------------------------------------------------------
+    def begin_tx(self) -> None:
+        self.transmitting = True
+        self._update()
+
+    def end_tx(self) -> None:
+        self.transmitting = False
+        self._update()
+
+    def begin_rx(self) -> None:
+        self.rx_count += 1
+        self._update()
+
+    def end_rx(self) -> None:
+        if self.rx_count > 0:
+            self.rx_count -= 1
+            self._update()
+
+    def deliver(self, payload: object, sender_id: int) -> None:
+        """Hand a successfully received frame to the MAC."""
+        if self.frame_sink is not None:
+            self.frame_sink(payload, sender_id)
+
+    # ------------------------------------------------------------------
+    def _update(self) -> None:
+        if self.base_mode is RadioMode.OFF:
+            eff = RadioMode.OFF
+        elif self.transmitting:
+            eff = RadioMode.TX
+        elif self.rx_count > 0 and self.base_mode is RadioMode.IDLE:
+            eff = RadioMode.RX
+        else:
+            eff = self.base_mode
+        if eff is self._effective:
+            return
+        old = self._effective
+        self._effective = eff
+        self.monitor.set_draw(self.profile.total_power(eff))
+        if self.on_mode_change is not None:
+            self.on_mode_change(old, eff)

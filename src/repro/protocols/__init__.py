@@ -1,0 +1,10 @@
+"""Routing protocols: the common interface and the baseline protocols.
+
+The paper's contribution (ECGRID) lives in :mod:`repro.core`; this
+package holds the interface every protocol implements plus the
+comparison baselines (GRID, GAF, flooding).
+"""
+
+from repro.protocols.base import ProtocolParams, RoutingProtocol
+
+__all__ = ["RoutingProtocol", "ProtocolParams"]

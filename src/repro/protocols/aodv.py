@@ -1,0 +1,443 @@
+"""AODV baseline — Ad hoc On-demand Distance Vector (Perkins & Royer),
+the protocol GRID (and hence ECGRID) derives its discovery machinery
+from (paper §3.3: "ECGRID is an extension of GRID (which is modified
+from the AODV protocol)").
+
+This is a host-by-host implementation, independent of the grid engine:
+
+- HELLO beacons maintain a neighbor set with expiry;
+- route discovery floods RREQs with an expanding-ring TTL search
+  (TTL_START/TTL_INCREMENT/TTL_THRESHOLD, then network-wide);
+- reverse routes form on the first RREQ copy; duplicates are dropped
+  via an (origin, rreq_id) cache;
+- the destination — or an intermediate with a fresh-enough route —
+  answers with a unicast RREP along the reverse path;
+- data moves hop-by-hop on next-hop entries with active-route-timeout
+  refresh; MAC-level delivery failure triggers a RERR toward the
+  source, which re-discovers.
+
+Nobody sleeps: AODV has no energy management, which is exactly why the
+grid family exists.  Including it lets the benchmarks reproduce the
+GRID paper's motivation (grid routing needs far less flooding state
+per host) alongside this paper's energy story.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import ClassVar, Deque, Dict, Optional, Set, Tuple
+
+from repro.des.timer import PeriodicTimer, Timer
+from repro.metrics.collectors import Counters
+from repro.net.packet import BROADCAST, DataPacket, Message
+from repro.protocols.base import ProtocolParams, RoutingProtocol
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass
+class AodvHello(Message):
+    size_bytes: ClassVar[int] = 12
+
+    id: int = 0
+    seq: int = 0
+
+
+@dataclass
+class AodvRreq(Message):
+    size_bytes: ClassVar[int] = 24
+
+    origin: int = 0
+    origin_seq: int = 0
+    rreq_id: int = 0
+    dst: int = 0
+    dst_seq: int = 0
+    hop_count: int = 0
+    ttl: int = 255
+
+    def describe(self) -> str:
+        return f"A-RREQ({self.origin}->{self.dst} #{self.rreq_id})"
+
+
+@dataclass
+class AodvRrep(Message):
+    size_bytes: ClassVar[int] = 20
+
+    origin: int = 0
+    dst: int = 0
+    dst_seq: int = 0
+    hop_count: int = 0
+
+    def describe(self) -> str:
+        return f"A-RREP({self.dst}~>{self.origin})"
+
+
+@dataclass
+class AodvRerr(Message):
+    size_bytes: ClassVar[int] = 12
+
+    unreachable: int = 0
+    unreachable_seq: int = 0
+
+
+@dataclass
+class AodvData(Message):
+    """A data packet in hop-by-hop transit."""
+
+    size_bytes: ClassVar[int] = 4
+
+    packet: Optional[DataPacket] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        from repro.net.packet import LINK_OVERHEAD_BYTES
+
+        payload = self.packet.size_bytes if self.packet is not None else 0
+        return self.size_bytes + payload + LINK_OVERHEAD_BYTES
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass
+class AodvParams:
+    """AODV constants (RFC 3561 names, scaled-down defaults)."""
+
+    hello_interval_s: float = 1.0
+    allowed_hello_loss: float = 3.0
+    active_route_timeout_s: float = 10.0
+    ttl_start: int = 2
+    ttl_increment: int = 2
+    ttl_threshold: int = 7
+    net_diameter: int = 35
+    rreq_retries: int = 2
+    ring_traversal_base_s: float = 0.25
+    buffer_limit: int = 64
+
+
+@dataclass
+class _Route:
+    next_hop: int
+    hop_count: int
+    dst_seq: int
+    expires_at: float
+
+
+class _Discovery:
+    __slots__ = ("dst", "ttl", "retries", "timer", "queue")
+
+    def __init__(self, dst: int, ttl: int, timer: Timer) -> None:
+        self.dst = dst
+        self.ttl = ttl
+        self.retries = 0
+        self.timer = timer
+        self.queue: Deque[DataPacket] = deque()
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class AodvProtocol(RoutingProtocol):
+    """One AODV host."""
+
+    name = "aodv"
+
+    def __init__(
+        self,
+        node,
+        params: ProtocolParams,
+        counters: Optional[Counters] = None,
+        aodv: Optional[AodvParams] = None,
+    ) -> None:
+        super().__init__(node, params)
+        self.counters = counters if counters is not None else Counters()
+        self.aodv = aodv or AodvParams()
+        self.rng = node.sim.rng.stream(f"aodv-{node.id}")
+        self.seq = 0
+        self.rreq_id = 0
+        self.routes: Dict[int, _Route] = {}
+        self.neighbors: Dict[int, float] = {}   # id -> last heard
+        self.discoveries: Dict[int, _Discovery] = {}
+        self._seen_rreq: Set[Tuple[int, int]] = set()
+        self._seen_order: Deque[Tuple[int, int]] = deque()
+        self.hello_timer = PeriodicTimer(
+            node.sim,
+            self._send_hello,
+            self.aodv.hello_interval_s,
+            jitter=lambda: self.rng.uniform(-0.1, 0.1),
+        )
+
+    # -- plumbing --------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.node.sim.now
+
+    def start(self) -> None:
+        self.hello_timer.start(
+            initial_delay=self.rng.uniform(0.0, self.aodv.hello_interval_s)
+        )
+
+    def on_death(self) -> None:
+        self.hello_timer.stop()
+        for d in self.discoveries.values():
+            d.timer.cancel()
+        self.discoveries.clear()
+
+    def _send_hello(self) -> None:
+        self.counters.inc("aodv_hello_sent")
+        self.node.mac.send(AodvHello(id=self.node.id, seq=self.seq), BROADCAST)
+
+    def _neighbor_alive(self, nid: int) -> bool:
+        heard = self.neighbors.get(nid)
+        if heard is None:
+            return False
+        horizon = self.aodv.hello_interval_s * self.aodv.allowed_hello_loss
+        return self.now - heard <= horizon
+
+    # -- routing table -----------------------------------------------------
+    def _route(self, dst: int) -> Optional[_Route]:
+        r = self.routes.get(dst)
+        if r is None or r.expires_at < self.now:
+            return None
+        return r
+
+    def _install(self, dst: int, next_hop: int, hops: int, seq: int) -> None:
+        existing = self.routes.get(dst)
+        if (
+            existing is not None
+            and existing.expires_at >= self.now
+            and existing.dst_seq > seq
+        ):
+            return
+        if (
+            existing is not None
+            and existing.expires_at >= self.now
+            and existing.dst_seq == seq
+            and existing.hop_count < hops
+        ):
+            return
+        self.routes[dst] = _Route(
+            next_hop, hops, seq, self.now + self.aodv.active_route_timeout_s
+        )
+
+    def _refresh(self, dst: int) -> None:
+        r = self.routes.get(dst)
+        if r is not None:
+            r.expires_at = max(
+                r.expires_at, self.now + self.aodv.active_route_timeout_s
+            )
+
+    # -- application entry ---------------------------------------------------
+    def send_data(self, packet: DataPacket) -> None:
+        self._forward_or_discover(packet)
+
+    def _forward_or_discover(self, packet: DataPacket) -> None:
+        dst = packet.dst
+        if dst == self.node.id:
+            self.node.deliver_to_app(packet)
+            return
+        route = self._route(dst)
+        if route is not None:
+            self._transmit(packet, route)
+            return
+        self._discover(dst, packet)
+
+    def _transmit(self, packet: DataPacket, route: _Route) -> None:
+        self._refresh(packet.dst)
+        self._refresh(route.next_hop)
+        self.counters.inc("aodv_data_forwarded")
+        self.node.mac.send(
+            AodvData(packet=packet),
+            route.next_hop,
+            on_fail=lambda _m, _d: self._link_broken(route.next_hop, packet),
+        )
+
+    # -- discovery -------------------------------------------------------------
+    def _discover(self, dst: int, packet: Optional[DataPacket]) -> None:
+        d = self.discoveries.get(dst)
+        if d is None:
+            d = _Discovery(
+                dst,
+                self.aodv.ttl_start,
+                Timer(self.node.sim, lambda dd=dst: self._rreq_timeout(dd)),
+            )
+            self.discoveries[dst] = d
+            self._send_rreq(d)
+        if packet is not None:
+            if len(d.queue) >= self.aodv.buffer_limit:
+                d.queue.popleft()
+                self.counters.inc("buffer_drops")
+            d.queue.append(packet)
+
+    def _send_rreq(self, d: _Discovery) -> None:
+        self.seq += 1
+        self.rreq_id += 1
+        known = self.routes.get(d.dst)
+        msg = AodvRreq(
+            origin=self.node.id,
+            origin_seq=self.seq,
+            rreq_id=self.rreq_id,
+            dst=d.dst,
+            dst_seq=known.dst_seq if known is not None else 0,
+            hop_count=0,
+            ttl=d.ttl,
+        )
+        self._remember((self.node.id, self.rreq_id))
+        self.counters.inc("aodv_rreq_originated")
+        self.node.mac.send(msg, BROADCAST)
+        # Ring traversal time grows with the ring.
+        d.timer.start(self.aodv.ring_traversal_base_s * max(1, d.ttl))
+
+    def _rreq_timeout(self, dst: int) -> None:
+        d = self.discoveries.get(dst)
+        if d is None:
+            return
+        if d.ttl < self.aodv.ttl_threshold:
+            # Expanding ring: widen and retry (not counted as a retry).
+            d.ttl = min(d.ttl + self.aodv.ttl_increment, self.aodv.net_diameter)
+            self._send_rreq(d)
+            return
+        d.retries += 1
+        if d.retries > self.aodv.rreq_retries:
+            self.counters.inc("aodv_discovery_failures")
+            self.counters.inc("data_dropped_no_route", len(d.queue))
+            del self.discoveries[dst]
+            return
+        d.ttl = self.aodv.net_diameter
+        self._send_rreq(d)
+
+    def _remember(self, key: Tuple[int, int]) -> None:
+        self._seen_rreq.add(key)
+        self._seen_order.append(key)
+        if len(self._seen_order) > 8192:
+            self._seen_rreq.discard(self._seen_order.popleft())
+
+    def _route_ready(self, dst: int) -> None:
+        d = self.discoveries.pop(dst, None)
+        if d is None:
+            return
+        d.timer.cancel()
+        while d.queue:
+            self._forward_or_discover(d.queue.popleft())
+
+    # -- message handling ---------------------------------------------------------
+    def on_message(self, message, sender_id: int) -> None:
+        if not self.node.alive:
+            return
+        self.neighbors[sender_id] = self.now
+        if isinstance(message, AodvHello):
+            return  # neighbor bookkeeping above is the whole job
+        if isinstance(message, AodvRreq):
+            self._on_rreq(message, sender_id)
+        elif isinstance(message, AodvRrep):
+            self._on_rrep(message, sender_id)
+        elif isinstance(message, AodvRerr):
+            self._on_rerr(message, sender_id)
+        elif isinstance(message, AodvData):
+            self._on_data(message, sender_id)
+
+    def _on_rreq(self, msg: AodvRreq, sender_id: int) -> None:
+        key = (msg.origin, msg.rreq_id)
+        if key in self._seen_rreq:
+            return
+        self._remember(key)
+        # Reverse route to the origin via the sender.
+        self._install(msg.origin, sender_id, msg.hop_count + 1, msg.origin_seq)
+        if msg.origin == self.node.id:
+            return
+        if msg.dst == self.node.id:
+            self.seq = max(self.seq + 1, msg.dst_seq)
+            self._send_rrep(
+                AodvRrep(origin=msg.origin, dst=self.node.id,
+                         dst_seq=self.seq, hop_count=0),
+                msg.origin,
+            )
+            self.counters.inc("aodv_rrep_originated")
+            return
+        route = self._route(msg.dst)
+        if route is not None and route.dst_seq >= msg.dst_seq > 0:
+            # Fresh-enough intermediate route: answer on its behalf.
+            self._send_rrep(
+                AodvRrep(origin=msg.origin, dst=msg.dst,
+                         dst_seq=route.dst_seq,
+                         hop_count=route.hop_count),
+                msg.origin,
+            )
+            self.counters.inc("aodv_rrep_intermediate")
+            return
+        if msg.ttl <= 1:
+            return
+        self.counters.inc("aodv_rreq_forwarded")
+        fwd = AodvRreq(
+            origin=msg.origin,
+            origin_seq=msg.origin_seq,
+            rreq_id=msg.rreq_id,
+            dst=msg.dst,
+            dst_seq=msg.dst_seq,
+            hop_count=msg.hop_count + 1,
+            ttl=msg.ttl - 1,
+        )
+        self.node.mac.send(fwd, BROADCAST)
+
+    def _send_rrep(self, rep: AodvRrep, toward: int) -> None:
+        if toward == self.node.id:
+            return
+        route = self._route(toward)
+        if route is None:
+            self.counters.inc("aodv_rrep_lost")
+            return
+        self.node.mac.send(
+            rep,
+            route.next_hop,
+            on_fail=lambda _m, _d: self.counters.inc("aodv_rrep_lost"),
+        )
+
+    def _on_rrep(self, rep: AodvRrep, sender_id: int) -> None:
+        self._install(rep.dst, sender_id, rep.hop_count + 1, rep.dst_seq)
+        if rep.origin == self.node.id:
+            self._route_ready(rep.dst)
+            return
+        self._send_rrep(
+            AodvRrep(origin=rep.origin, dst=rep.dst, dst_seq=rep.dst_seq,
+                     hop_count=rep.hop_count + 1),
+            rep.origin,
+        )
+
+    def _on_rerr(self, msg: AodvRerr, sender_id: int) -> None:
+        route = self.routes.get(msg.unreachable)
+        if route is not None and route.next_hop == sender_id:
+            del self.routes[msg.unreachable]
+            # Propagate to whoever might route through us.
+            self.counters.inc("aodv_rerr_forwarded")
+            self.node.mac.send(
+                AodvRerr(unreachable=msg.unreachable,
+                         unreachable_seq=msg.unreachable_seq),
+                BROADCAST,
+            )
+
+    def _on_data(self, env: AodvData, sender_id: int) -> None:
+        packet = env.packet
+        if packet is None:
+            return
+        packet.hops += 1
+        if packet.dst == self.node.id:
+            self.node.deliver_to_app(packet)
+            return
+        self._forward_or_discover(packet)
+
+    # -- failure handling ----------------------------------------------------------
+    def _link_broken(self, next_hop: int, packet: DataPacket) -> None:
+        if not self.node.alive:
+            return
+        self.counters.inc("aodv_link_breaks")
+        self.neighbors.pop(next_hop, None)
+        broken = [d for d, r in self.routes.items() if r.next_hop == next_hop]
+        for dst in broken:
+            del self.routes[dst]
+            self.node.mac.send(
+                AodvRerr(unreachable=dst, unreachable_seq=0), BROADCAST
+            )
+        # Salvage: re-discover for this packet.
+        self._discover(packet.dst, packet)

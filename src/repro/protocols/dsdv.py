@@ -1,0 +1,253 @@
+"""DSDV baseline — Destination-Sequenced Distance Vector (Perkins &
+Bhagwat, SIGCOMM'94), the paper's reference [4].
+
+The *proactive* counterpoint to the on-demand family: every host
+maintains a route to every other host at all times, advertising its
+table periodically (full dumps) and immediately on changes (triggered
+updates).  Loop freedom comes from destination-originated sequence
+numbers: a route is replaced only by a higher sequence number, or by an
+equal one with a better metric; broken links are advertised with an
+odd sequence number and infinite metric.
+
+No energy management (all hosts idle like GRID).  Included because the
+overhead comparison needs the classic proactive data point: DSDV's
+advertisement traffic scales with n * table size regardless of demand,
+which is exactly why on-demand and grid-confined protocols exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+from repro.des.timer import PeriodicTimer
+from repro.metrics.collectors import Counters
+from repro.net.packet import BROADCAST, DataPacket, Message
+from repro.protocols.aodv import AodvData
+from repro.protocols.base import ProtocolParams, RoutingProtocol
+
+#: Metric value meaning "unreachable".
+INFINITY = 255
+
+
+@dataclass
+class DsdvAdvert(Message):
+    """A route advertisement: (dest, metric, seq) triples."""
+
+    size_bytes: ClassVar[int] = 8
+
+    origin: int = 0
+    entries: Tuple[Tuple[int, int, int], ...] = ()
+    full_dump: bool = True
+
+    @property
+    def wire_bytes(self) -> int:
+        from repro.net.packet import LINK_OVERHEAD_BYTES
+
+        return self.size_bytes + 8 * len(self.entries) + LINK_OVERHEAD_BYTES
+
+
+@dataclass
+class DsdvParams:
+    advert_interval_s: float = 5.0
+    #: Triggered updates are batched for this long (damping).
+    trigger_delay_s: float = 0.3
+    #: Routes older than this many missed adverts via a neighbor break.
+    neighbor_loss: float = 3.0
+    buffer_limit: int = 64
+
+
+@dataclass
+class _Entry:
+    next_hop: int
+    metric: int
+    seq: int
+    heard_at: float
+
+
+class DsdvProtocol(RoutingProtocol):
+    """One DSDV host."""
+
+    name = "dsdv"
+
+    def __init__(
+        self,
+        node,
+        params: ProtocolParams,
+        counters: Optional[Counters] = None,
+        dsdv: Optional[DsdvParams] = None,
+    ) -> None:
+        super().__init__(node, params)
+        self.counters = counters if counters is not None else Counters()
+        self.dsdv = dsdv or DsdvParams()
+        self.rng = node.sim.rng.stream(f"dsdv-{node.id}")
+        self.seq = 0          # own destination sequence (even when valid)
+        self.table: Dict[int, _Entry] = {}
+        self._trigger_pending = False
+        self._undeliverable: Dict[int, List[DataPacket]] = {}
+        self.advert_timer = PeriodicTimer(
+            node.sim,
+            self._advertise_full,
+            self.dsdv.advert_interval_s,
+            jitter=lambda: self.rng.uniform(-0.5, 0.5),
+        )
+
+    @property
+    def now(self) -> float:
+        return self.node.sim.now
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.advert_timer.start(
+            initial_delay=self.rng.uniform(0.1, self.dsdv.advert_interval_s)
+        )
+
+    def on_death(self) -> None:
+        self.advert_timer.stop()
+
+    # ------------------------------------------------------------------
+    # Advertising
+    # ------------------------------------------------------------------
+    def _my_entry(self) -> Tuple[int, int, int]:
+        self.seq += 2  # destinations bump by 2: even = reachable
+        return (self.node.id, 0, self.seq)
+
+    def _advertise_full(self) -> None:
+        entries = [self._my_entry()]
+        for dest, e in self.table.items():
+            entries.append((dest, e.metric, e.seq))
+        self.counters.inc("dsdv_full_dumps")
+        self.node.mac.send(
+            DsdvAdvert(origin=self.node.id, entries=tuple(entries)),
+            BROADCAST,
+        )
+
+    def _schedule_trigger(self) -> None:
+        if self._trigger_pending:
+            return
+        self._trigger_pending = True
+        self.node.sim.after(self.dsdv.trigger_delay_s, self._advertise_trigger)
+
+    def _advertise_trigger(self) -> None:
+        self._trigger_pending = False
+        if not self.node.alive:
+            return
+        # Simplified incremental update: re-advertise everything that is
+        # currently broken plus ourselves.
+        entries = [self._my_entry()]
+        for dest, e in self.table.items():
+            if e.metric >= INFINITY:
+                entries.append((dest, INFINITY, e.seq))
+        self.counters.inc("dsdv_triggered_updates")
+        self.node.mac.send(
+            DsdvAdvert(origin=self.node.id, entries=tuple(entries),
+                       full_dump=False),
+            BROADCAST,
+        )
+
+    # ------------------------------------------------------------------
+    # Table maintenance
+    # ------------------------------------------------------------------
+    def _consider(self, dest: int, metric: int, seq: int, via: int) -> bool:
+        if dest == self.node.id:
+            return False
+        new_metric = metric + 1 if metric < INFINITY else INFINITY
+        cur = self.table.get(dest)
+        accept = False
+        if cur is None:
+            accept = new_metric < INFINITY
+        elif seq > cur.seq:
+            accept = True
+        elif seq == cur.seq and new_metric < cur.metric:
+            accept = True
+        if accept:
+            self.table[dest] = _Entry(via, new_metric, seq, self.now)
+            if new_metric >= INFINITY:
+                self._schedule_trigger()
+            else:
+                self._flush_undeliverable(dest)
+        elif cur is not None and cur.next_hop == via:
+            cur.heard_at = self.now
+        return accept
+
+    def _on_advert(self, ad: DsdvAdvert, sender_id: int) -> None:
+        for dest, metric, seq in ad.entries:
+            self._consider(dest, metric, seq, sender_id)
+
+    def _route(self, dest: int) -> Optional[_Entry]:
+        e = self.table.get(dest)
+        if e is None or e.metric >= INFINITY:
+            return None
+        horizon = self.dsdv.advert_interval_s * self.dsdv.neighbor_loss
+        if self.now - e.heard_at > horizon:
+            return None
+        return e
+
+    def _break_via(self, neighbor: int) -> None:
+        """MAC failure toward a neighbor: poison everything through it
+        (odd sequence = originated by the detector)."""
+        broken = False
+        for dest, e in self.table.items():
+            if e.next_hop == neighbor and e.metric < INFINITY:
+                e.metric = INFINITY
+                e.seq += 1  # odd: marks the break
+                broken = True
+        if broken:
+            self.counters.inc("dsdv_link_breaks")
+            self._schedule_trigger()
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def send_data(self, packet: DataPacket) -> None:
+        self._forward(packet)
+
+    def _forward(self, packet: DataPacket) -> None:
+        if packet.dst == self.node.id:
+            self.node.deliver_to_app(packet)
+            return
+        entry = self._route(packet.dst)
+        if entry is None:
+            # Proactive protocol: no discovery to fall back on.  Hold
+            # briefly in case an advert is about to arrive.
+            buf = self._undeliverable.setdefault(packet.dst, [])
+            if len(buf) >= self.dsdv.buffer_limit:
+                buf.pop(0)
+                self.counters.inc("buffer_drops")
+            buf.append(packet)
+            self.counters.inc("dsdv_no_route")
+            return
+        self.counters.inc("dsdv_data_forwarded")
+        self.node.mac.send(
+            AodvData(packet=packet),
+            entry.next_hop,
+            on_fail=lambda _m, _d, nh=entry.next_hop: self._send_failed(
+                packet, nh
+            ),
+        )
+
+    def _send_failed(self, packet: DataPacket, next_hop: int) -> None:
+        if not self.node.alive:
+            return
+        self._break_via(next_hop)
+        # One salvage attempt once the table heals.
+        buf = self._undeliverable.setdefault(packet.dst, [])
+        if len(buf) < self.dsdv.buffer_limit:
+            buf.append(packet)
+
+    def _flush_undeliverable(self, dest: int) -> None:
+        buf = self._undeliverable.pop(dest, None)
+        if buf:
+            for packet in buf:
+                self._forward(packet)
+
+    def on_message(self, message, sender_id: int) -> None:
+        if not self.node.alive:
+            return
+        if isinstance(message, DsdvAdvert):
+            self._on_advert(message, sender_id)
+        elif isinstance(message, AodvData):
+            packet = message.packet
+            if packet is not None:
+                packet.hops += 1
+                self._forward(packet)

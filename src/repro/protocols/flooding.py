@@ -1,0 +1,78 @@
+"""Naive flooding: the delivery upper-bound / energy lower-bound
+baseline used by the test suite.
+
+Every data packet is rebroadcast once by every host that hears it (the
+textbook broadcast-storm protocol of reference [13]).  No state, no
+elections, no sleep — if flooding cannot deliver a packet in a given
+topology, no single-channel protocol can, which makes it the oracle the
+integration tests compare routed delivery against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Set
+
+from repro.metrics.collectors import Counters
+from repro.net.packet import BROADCAST, DataPacket, Message
+from repro.protocols.base import ProtocolParams, RoutingProtocol
+
+
+@dataclass
+class FloodEnvelope(Message):
+    """A flooded data packet with a hop budget."""
+
+    size_bytes: ClassVar[int] = 8
+
+    packet: Optional[DataPacket] = None
+    ttl: int = 16
+
+    @property
+    def wire_bytes(self) -> int:
+        from repro.net.packet import LINK_OVERHEAD_BYTES
+
+        payload = self.packet.size_bytes if self.packet is not None else 0
+        return self.size_bytes + payload + LINK_OVERHEAD_BYTES
+
+
+class FloodingProtocol(RoutingProtocol):
+    """Blind flooding with duplicate suppression."""
+
+    name = "flooding"
+
+    def __init__(self, node, params: ProtocolParams, counters: Optional[Counters] = None):
+        super().__init__(node, params)
+        self.counters = counters if counters is not None else Counters()
+        self.rng = node.sim.rng.stream(f"flood-{node.id}")
+        self._seen: Set[int] = set()
+
+    def send_data(self, packet: DataPacket) -> None:
+        self._seen.add(packet.uid)
+        self.counters.inc("flood_originated")
+        self.node.mac.send(FloodEnvelope(packet=packet), BROADCAST)
+
+    def on_message(self, message, sender_id: int) -> None:
+        if not isinstance(message, FloodEnvelope) or message.packet is None:
+            return
+        packet = message.packet
+        if packet.uid in self._seen:
+            return
+        self._seen.add(packet.uid)
+        packet.hops += 1
+        if packet.dst == self.node.id:
+            self.node.deliver_to_app(packet)
+            return
+        if message.ttl <= 1:
+            self.counters.inc("flood_ttl_drops")
+            return
+        self.counters.inc("flood_rebroadcasts")
+        # Tiny random delay decorrelates the rebroadcast storm.
+        self.node.sim.after(
+            self.rng.uniform(0.0, 0.01),
+            self._rebroadcast,
+            FloodEnvelope(packet=packet, ttl=message.ttl - 1),
+        )
+
+    def _rebroadcast(self, env: FloodEnvelope) -> None:
+        if self.node.alive:
+            self.node.mac.send(env, BROADCAST)

@@ -1,0 +1,304 @@
+"""Span-style baseline — coordinator backbone with periodic wakeups.
+
+The paper compares ECGRID against Span (Chen et al., MobiCom'01)
+qualitatively in §1: Span coordinators stay awake to route;
+non-coordinators sleep but must *wake periodically* (ATIM-style) to
+check for traffic, and — the paper's key observation — Span's savings
+do not grow with host density, because every non-coordinator pays the
+same periodic-wakeup duty cycle no matter how many neighbors share its
+area.  The paper does not simulate Span; this implementation exists to
+let the benchmarks demonstrate that qualitative claim quantitatively.
+
+The model keeps Span's externally visible behaviour:
+
+- loosely synchronized *beacon windows*: every ``beacon_period_s``
+  all alive nodes wake for ``window_s``, exchange status beacons, and
+  non-coordinators go back to sleep;
+- the **coordinator eligibility rule**: announce (after a randomized
+  energy-weighted backoff) if two of your neighbors cannot reach each
+  other directly or through an existing coordinator;
+- coordinator *withdrawal* after a tenure so the role rotates;
+- routing rides the host-by-host AODV engine over awake nodes; data
+  for a sleeping destination waits at its last hop until the next
+  window (the ATIM substitute).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import ClassVar, Deque, Dict, Optional, Set, Tuple
+
+from repro.des.timer import Timer
+from repro.metrics.collectors import Counters
+from repro.net.packet import BROADCAST, DataPacket, Message
+from repro.protocols.aodv import AodvData, AodvParams, AodvProtocol, _Route
+from repro.protocols.base import ProtocolParams
+
+
+@dataclass
+class SpanBeacon(Message):
+    """Window beacon: status + one-hop neighbor/coordinator digest."""
+
+    size_bytes: ClassVar[int] = 28
+
+    id: int = 0
+    coordinator: bool = False
+    neighbors: Tuple[int, ...] = ()
+    coordinators: Tuple[int, ...] = ()
+    energy_frac: float = 1.0
+
+
+@dataclass
+class SpanParams:
+    """Span duty-cycle and election constants."""
+
+    beacon_period_s: float = 2.0
+    window_s: float = 0.4
+    #: Maximum randomized announcement backoff inside a window.
+    announce_backoff_s: float = 0.2
+    #: Coordinator tenure before volunteering to withdraw.
+    tenure_s: float = 30.0
+    #: Neighbor digest freshness (in beacon periods).
+    neighbor_loss: float = 3.0
+
+
+class SpanProtocol(AodvProtocol):
+    """One Span host (AODV routing over a coordinator backbone)."""
+
+    name = "span"
+
+    def __init__(
+        self,
+        node,
+        params: ProtocolParams,
+        counters: Optional[Counters] = None,
+        aodv: Optional[AodvParams] = None,
+        span: Optional[SpanParams] = None,
+    ) -> None:
+        super().__init__(node, params, counters, aodv)
+        self.span = span or SpanParams()
+        self.coordinator = False
+        self.coordinator_since = 0.0
+        #: id -> (is_coordinator, neighbor digest, coord digest, heard)
+        self.peer_info: Dict[int, Tuple[bool, Set[int], Set[int], float]] = {}
+        self.window_timer = Timer(node.sim, self._window_open)
+        self.window_close_timer = Timer(node.sim, self._window_close)
+        self.announce_timer = Timer(node.sim, self._announce_check)
+        #: Final-hop packets waiting for a sleeping destination.
+        self._deferred: Deque[DataPacket] = deque()
+
+    # ------------------------------------------------------------------
+    # Duty cycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        # Windows are loosely synchronized on the global clock.
+        first = self.span.beacon_period_s - (
+            self.now % self.span.beacon_period_s
+        )
+        self.window_timer.start(first)
+
+    def on_death(self) -> None:
+        self.window_timer.cancel()
+        self.window_close_timer.cancel()
+        self.announce_timer.cancel()
+        super().on_death()
+
+    def _window_open(self) -> None:
+        if not self.node.alive:
+            return
+        self.node.wake_up()
+        self.counters.inc("span_windows")
+        # Stagger beacons across the window: synchronized wakeups would
+        # otherwise make hidden terminals collide every single period.
+        self.node.sim.after(
+            self.rng.uniform(0.0, 0.4 * self.span.window_s),
+            self._beacon_if_awake,
+        )
+        # Randomized eligibility check late in the window (after the
+        # beacons landed, before the window closes).
+        self.announce_timer.start(
+            self.rng.uniform(0.5 * self.span.window_s, 0.9 * self.span.window_s)
+        )
+        self.window_close_timer.start(self.span.window_s)
+        self.window_timer.start(self.span.beacon_period_s)
+        self._flush_deferred()
+
+    def _window_close(self) -> None:
+        if not self.node.alive or self.coordinator:
+            return
+        if self.node.mac.queue_length > 0 or self.discoveries:
+            # Traffic in flight: stay up; re-check at next window.
+            return
+        self.counters.inc("span_sleeps")
+        self.node.go_to_sleep()
+
+    def _beacon_if_awake(self) -> None:
+        if self.node.alive and self.node.awake:
+            self._send_beacon()
+
+    def _send_beacon(self) -> None:
+        horizon = self.span.beacon_period_s * self.span.neighbor_loss
+        fresh = [
+            nid for nid, t in self.neighbors.items()
+            if self.now - t <= horizon
+        ]
+        coords = [
+            nid for nid in fresh
+            if self.peer_info.get(nid, (False,))[0]
+        ]
+        frac = 1.0 if self.node.battery.infinite else self.node.rbrc()
+        self.counters.inc("span_beacons")
+        self.node.mac.send(
+            SpanBeacon(
+                id=self.node.id,
+                coordinator=self.coordinator,
+                neighbors=tuple(fresh[:32]),
+                coordinators=tuple(coords[:16]),
+                energy_frac=frac,
+            ),
+            BROADCAST,
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinator election (the eligibility rule)
+    # ------------------------------------------------------------------
+    def _fresh_peers(self) -> Dict[int, Tuple[bool, Set[int], Set[int]]]:
+        horizon = self.span.beacon_period_s * self.span.neighbor_loss
+        return {
+            nid: (coord, nbrs, coords)
+            for nid, (coord, nbrs, coords, t) in self.peer_info.items()
+            if self.now - t <= horizon
+        }
+
+    def _eligible(self) -> bool:
+        """True if two neighbors cannot reach each other directly nor
+        through a coordinator both can hear."""
+        peers = self._fresh_peers()
+        ids = list(peers)
+        for i, a in enumerate(ids):
+            a_coord, a_nbrs, a_coords = peers[a]
+            for b in ids[i + 1:]:
+                b_coord, b_nbrs, b_coords = peers[b]
+                if b in a_nbrs or a in b_nbrs:
+                    continue  # direct link
+                shared = (a_coords | ({a} if a_coord else set())) & (
+                    b_coords | ({b} if b_coord else set())
+                )
+                # Any coordinator adjacent to both bridges them.
+                bridged = shared or any(
+                    peers[c][0] and a in peers[c][1] and b in peers[c][1]
+                    for c in ids
+                )
+                if not bridged:
+                    return True
+        return False
+
+    def _announce_check(self) -> None:
+        if not self.node.alive or not self.node.awake:
+            return
+        if self.coordinator:
+            # Withdraw after tenure when the backbone survives without us.
+            if (
+                self.now - self.coordinator_since > self.span.tenure_s
+                and not self._eligible()
+            ):
+                self.coordinator = False
+                self.counters.inc("span_withdrawals")
+                self._send_beacon()
+            return
+        if self._eligible():
+            self.coordinator = True
+            self.coordinator_since = self.now
+            self.counters.inc("span_coordinator_terms")
+            self._send_beacon()
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+    def on_message(self, message, sender_id: int) -> None:
+        if isinstance(message, SpanBeacon):
+            self.neighbors[sender_id] = self.now
+            self.peer_info[message.id] = (
+                message.coordinator,
+                set(message.neighbors),
+                set(message.coordinators),
+                self.now,
+            )
+            return
+        super().on_message(message, sender_id)
+
+    # ------------------------------------------------------------------
+    # Coordinators answer discovery for their sleeping neighbors: the
+    # route then terminates at the coordinator, whose final hop defers
+    # to the destination's next window (see _transmit/_defer).
+    # ------------------------------------------------------------------
+    def _on_rreq(self, msg, sender_id: int) -> None:
+        if (
+            self.coordinator
+            and msg.dst != self.node.id
+            and msg.origin != self.node.id
+            and self._route(msg.dst) is None
+            and self._neighbor_alive(msg.dst)
+        ):
+            key = (msg.origin, msg.rreq_id)
+            if key in self._seen_rreq:
+                return
+            self._remember(key)
+            self._install(msg.origin, sender_id, msg.hop_count + 1,
+                          msg.origin_seq)
+            # One-hop "route" to the sleeping neighbor through us.
+            self._install(msg.dst, msg.dst, 1, 0)
+            self.seq += 1
+            from repro.protocols.aodv import AodvRrep
+
+            self.counters.inc("span_proxy_rreps")
+            self._send_rrep(
+                AodvRrep(origin=msg.origin, dst=msg.dst,
+                         dst_seq=self.seq, hop_count=1),
+                msg.origin,
+            )
+            return
+        super()._on_rreq(msg, sender_id)
+
+    # ------------------------------------------------------------------
+    # Data path: defer final hop to a sleeping destination
+    # ------------------------------------------------------------------
+    def send_data(self, packet: DataPacket) -> None:
+        # A sleeping source wakes itself to transmit.
+        if self.node.alive and not self.node.awake:
+            self.node.wake_up()
+        super().send_data(packet)
+
+    def _transmit(self, packet: DataPacket, route: _Route) -> None:
+        if route.next_hop == packet.dst:
+            # Final hop: the destination may be asleep until its next
+            # window; losing the MAC retries would drop the packet.
+            self._refresh(packet.dst)
+            self.counters.inc("aodv_data_forwarded")
+            self.node.mac.send(
+                AodvData(packet=packet),
+                route.next_hop,
+                on_fail=lambda _m, _d: self._defer(packet),
+            )
+            return
+        super()._transmit(packet, route)
+
+    def _defer(self, packet: DataPacket) -> None:
+        if not self.node.alive:
+            return
+        self.counters.inc("span_deferred")
+        if len(self._deferred) >= self.aodv.buffer_limit:
+            self._deferred.popleft()
+            self.counters.inc("buffer_drops")
+        self._deferred.append(packet)
+
+    def _flush_deferred(self) -> None:
+        # Give destinations a beat to open their window, then push.
+        if self._deferred:
+            self.node.sim.after(0.1, self._push_deferred)
+
+    def _push_deferred(self) -> None:
+        while self._deferred:
+            self._forward_or_discover(self._deferred.popleft())

@@ -1,0 +1,6 @@
+"""Traffic generation: CBR flows and random flow selection."""
+
+from repro.traffic.cbr import CbrFlow
+from repro.traffic.flowset import FlowSpec, build_flows, pick_random_pairs
+
+__all__ = ["CbrFlow", "FlowSpec", "build_flows", "pick_random_pairs"]

@@ -1,0 +1,71 @@
+"""Random flow selection: "source and destination hosts are randomly
+chosen" (paper §4, Model 2) and fixed endpoint pools (Model 1)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.des.core import Simulator
+from repro.metrics.collectors import PacketLog
+from repro.net.node import Node
+from repro.traffic.cbr import CbrFlow
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    src_id: int
+    dst_id: int
+    rate_pps: float
+    size_bytes: int = 512
+    start_s: float = 0.0
+    stop_s: Optional[float] = None
+
+
+def pick_random_pairs(
+    rng: random.Random, candidates: Sequence[int], n_pairs: int
+) -> List[Tuple[int, int]]:
+    """Draw ``n_pairs`` (src, dst) pairs with src != dst.
+
+    Sources are distinct while enough candidates exist; destinations may
+    repeat (matching CMU's cbrgen behaviour).
+    """
+    if len(candidates) < 2:
+        raise ValueError("need at least two candidate hosts")
+    pool = list(candidates)
+    rng.shuffle(pool)
+    pairs: List[Tuple[int, int]] = []
+    for i in range(n_pairs):
+        src = pool[i % len(pool)]
+        dst = src
+        while dst == src:
+            dst = rng.choice(candidates)
+        pairs.append((src, dst))
+    return pairs
+
+
+def build_flows(
+    sim: Simulator,
+    nodes_by_id: dict,
+    specs: Sequence[FlowSpec],
+    log: Optional[PacketLog] = None,
+) -> List[CbrFlow]:
+    """Instantiate CBR flows from specs against live node objects."""
+    flows = []
+    for i, spec in enumerate(specs):
+        src = nodes_by_id[spec.src_id]
+        flows.append(
+            CbrFlow(
+                sim,
+                flow_id=i,
+                src=src,
+                dst_id=spec.dst_id,
+                rate_pps=spec.rate_pps,
+                size_bytes=spec.size_bytes,
+                start_s=spec.start_s,
+                stop_s=spec.stop_s,
+                log=log,
+            )
+        )
+    return flows

@@ -1,0 +1,151 @@
+"""GridProtocolBase machinery: beacons, conflicts, takeover rules."""
+
+import pytest
+
+from repro.core.base import Role
+from repro.core.messages import Hello, Retire, TablesTransfer
+from repro.energy.profile import EnergyLevel
+
+from tests.helpers import make_static_network, set_battery
+
+
+def duo():
+    """Two hosts in one grid, elected and settled."""
+    net = make_static_network([(50, 50), (30, 30)])
+    net.run(until=10.0)
+    return net
+
+
+def test_hello_response_is_rate_limited():
+    net = duo()
+    gw = net.nodes[0].protocol
+    before = net.counters.get("hello_sent")
+    # A burst of newcomer HELLOs must not trigger a beacon storm.
+    for i in range(10):
+        gw._on_hello(Hello(id=100 + i, cell=gw.my_cell, gflag=False,
+                           level=EnergyLevel.UPPER, dist=40.0))
+    net.sim.run(until=net.sim.now + 0.3)
+    sent = net.counters.get("hello_sent") - before
+    assert sent <= 2
+
+
+def test_gateway_learns_members_from_hellos():
+    net = duo()
+    gw = net.nodes[0].protocol
+    gw._on_hello(Hello(id=42, cell=gw.my_cell, gflag=False,
+                       level=EnergyLevel.UPPER, dist=10.0))
+    assert gw.hosts.is_awake(42) is True
+
+
+def test_neighbor_gateways_learned_from_gflag_hellos():
+    net = duo()
+    gw = net.nodes[0].protocol
+    gw._on_hello(Hello(id=77, cell=(3, 3), gflag=True,
+                       level=EnergyLevel.UPPER, dist=1.0))
+    assert gw.neighbor_gateways[(3, 3)][0] == 77
+    # Non-gateway HELLOs from other cells are not recorded.
+    gw._on_hello(Hello(id=78, cell=(4, 4), gflag=False,
+                       level=EnergyLevel.UPPER, dist=1.0))
+    assert (4, 4) not in gw.neighbor_gateways
+
+
+def test_conflict_resolution_loser_transfers_tables():
+    net = duo()
+    gw = net.nodes[0].protocol
+    assert gw.is_gateway
+    # A stronger gateway (higher battery band) appears in the same grid.
+    set_battery(net.nodes[0], 250.0)  # drop us to BOUNDARY
+    rival = Hello(id=99, cell=gw.my_cell, gflag=True,
+                  level=EnergyLevel.UPPER, dist=40.0)
+    gw._on_hello(rival)
+    assert gw.role is Role.ACTIVE
+    assert gw.my_gateway == 99
+    assert net.counters.get("gateway_conflicts_lost") == 1
+
+
+def test_conflict_resolution_winner_keeps_role():
+    net = duo()
+    gw = net.nodes[0].protocol
+    weaker = Hello(id=99, cell=gw.my_cell, gflag=True,
+                   level=EnergyLevel.LOWER, dist=0.0)
+    gw._on_hello(weaker)
+    assert gw.is_gateway
+
+
+def test_takeover_requires_strictly_higher_band():
+    """§3.2: same band does NOT take over (prevents churn), higher
+    band does."""
+    net = make_static_network([(50, 50), (45, 45)])
+    net.run(until=10.0)
+    member = net.nodes[1].protocol
+    # Wake the sleeping member so it can evaluate takeover.
+    net.nodes[1].wake_up()
+    member.role = Role.ACTIVE
+    same_band = Hello(id=0, cell=member.my_cell, gflag=True,
+                      level=net.nodes[1].energy_level(), dist=0.0)
+    member._on_hello(same_band)
+    assert member.role is Role.ACTIVE  # no takeover on equal band
+
+    lower = Hello(id=0, cell=member.my_cell, gflag=True,
+                  level=EnergyLevel.BOUNDARY, dist=0.0)
+    member._on_hello(lower)
+    assert member.is_gateway  # strictly higher band takes over
+    assert net.counters.get("gateway_takeovers") >= 1
+
+
+def test_tables_transfer_applies_only_to_gateway_of_that_cell():
+    net = duo()
+    gw = net.nodes[0].protocol
+    msg = TablesTransfer(cell=(9, 9), rtab={5: ((1, 1), 3)}, htab={7: True})
+    gw._on_tables_transfer(msg)   # wrong cell: ignored
+    assert gw.routing.lookup(5, net.sim.now) is None
+    msg2 = TablesTransfer(cell=gw.my_cell, rtab={5: ((1, 1), 3)},
+                          htab={7: True})
+    gw._on_tables_transfer(msg2)
+    assert gw.routing.lookup(5, net.sim.now) is not None
+    assert gw.hosts.is_known(7)
+
+
+def test_retire_from_other_cell_purges_neighbor_entry():
+    net = duo()
+    gw = net.nodes[0].protocol
+    gw.neighbor_gateways[(3, 3)] = (77, net.sim.now)
+    gw._on_retire(Retire(cell=(3, 3), gateway_id=77))
+    assert (3, 3) not in gw.neighbor_gateways
+
+
+def test_retire_in_place_triggers_reelection():
+    net = make_static_network([(50, 50), (45, 45), (60, 60)])
+    net.run(until=10.0)
+    gw = net.nodes[0].protocol
+    assert gw.is_gateway
+    elections_before = net.counters.get("gateway_elections")
+    gw.retire_in_place()
+    net.sim.run(until=net.sim.now + 8.0)
+    # Someone (possibly the retiree again) holds the role afterwards.
+    holders = [n.id for n in net.nodes
+               if n.alive and n.protocol.role is Role.GATEWAY]
+    assert len(holders) == 1
+    assert net.counters.get("gateway_elections") > elections_before
+    assert net.counters.get("gateway_retirements") >= 1
+
+
+def test_self_candidate_reflects_live_state():
+    net = duo()
+    proto = net.nodes[0].protocol
+    cand = proto.self_candidate()
+    assert cand.id == 0
+    assert cand.level == net.nodes[0].energy_level()
+    assert cand.dist == pytest.approx(net.nodes[0].dist_to_center())
+
+
+def test_fresh_peers_expire():
+    net = duo()
+    proto = net.nodes[0].protocol
+    # The member's election-time HELLOs were recorded...
+    assert 1 in proto.cell_peers
+    # ...but a silent (sleeping, then dead) peer ages out of the
+    # *fresh* view used for elections.
+    net.nodes[1].crash()
+    net.sim.run(until=net.sim.now + 30.0)
+    assert not any(c.id == 1 for c in proto.fresh_peers())

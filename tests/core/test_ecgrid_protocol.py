@@ -1,0 +1,360 @@
+"""ECGRID protocol behaviour on controlled static/mobile scenarios."""
+
+import pytest
+
+from repro.core.base import Role
+from repro.energy.profile import EnergyLevel
+from repro.geo.vector import Vec2
+from repro.mobility.static import StaticPosition
+from repro.mobility.trace import TraceMobility
+from repro.net.packet import DataPacket
+
+from tests.helpers import (
+    make_mobile_network,
+    make_static_network,
+    set_battery,
+)
+
+
+def gateways_of(net, cell=None):
+    out = []
+    for n in net.nodes:
+        p = n.protocol
+        if n.alive and p.role is Role.GATEWAY:
+            if cell is None or p.my_cell == cell:
+                out.append(n.id)
+    return out
+
+
+def roles(net):
+    return {n.id: n.protocol.role for n in net.nodes}
+
+
+# ----------------------------------------------------------------------
+# Election (§3.1)
+# ----------------------------------------------------------------------
+def test_single_host_declares_itself_gateway():
+    net = make_static_network([(50, 50)])
+    net.run(until=6.0)
+    assert gateways_of(net) == [0]
+
+
+def test_one_gateway_per_grid_after_initial_election():
+    # Three hosts in cell (0,0), two in cell (3,3).
+    net = make_static_network(
+        [(30, 30), (50, 50), (70, 70), (330, 330), (370, 370)]
+    )
+    net.run(until=8.0)
+    assert len(gateways_of(net, (0, 0))) == 1
+    assert len(gateways_of(net, (3, 3))) == 1
+
+
+def test_winner_is_closest_to_center_on_equal_levels():
+    # Cell (0,0) center is (50,50); host 1 sits on it.
+    net = make_static_network([(20, 20), (50, 50), (75, 60)])
+    net.run(until=8.0)
+    assert gateways_of(net) == [1]
+
+
+def test_higher_battery_band_wins_over_distance():
+    net = make_static_network([(50, 50), (30, 30)])
+    net.start()
+    # Host 0 is at the center but in the BOUNDARY band.
+    set_battery(net.nodes[0], 250.0)  # rbrc 0.5
+    net.sim.run(until=8.0)
+    assert gateways_of(net) == [1]
+
+
+def test_smallest_id_breaks_exact_ties():
+    # Two hosts equidistant from the center.
+    net = make_static_network([(40, 50), (60, 50)])
+    net.run(until=8.0)
+    assert gateways_of(net) == [0]
+
+
+def test_non_gateways_sleep_after_election():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    r = roles(net)
+    assert r[1] is Role.GATEWAY
+    assert r[0] is Role.SLEEPING
+    assert r[2] is Role.SLEEPING
+    assert not net.nodes[0].awake
+    assert net.nodes[1].awake
+
+
+def test_gateway_host_table_tracks_members():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    gw = net.nodes[1].protocol
+    assert set(gw.hosts.members()) == {0, 1, 2}
+    assert gw.hosts.is_awake(0) is False  # SleepNotify arrived
+    assert gw.hosts.is_awake(2) is False
+
+
+def test_empty_grid_newcomer_declares_itself():
+    """A host alone in a grid hears no HELLO and takes the role (§3.2)."""
+    net = make_static_network([(50, 50), (950, 950)])
+    net.run(until=8.0)
+    assert sorted(gateways_of(net)) == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Data delivery and paging (§3.3)
+# ----------------------------------------------------------------------
+def test_delivery_within_grid_to_sleeping_host_pages_it():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    assert roles(net)[2] is Role.SLEEPING
+    p = DataPacket(src=1, dst=2, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[1].send_data(p)
+    net.sim.run(until=net.sim.now + 2.0)
+    assert p.uid in net.packet_log.delivered_at
+    assert net.counters.get("pages_sent") >= 1
+    # The destination woke to receive.
+    assert net.nodes[2].protocol.role in (Role.ACTIVE, Role.SLEEPING)
+
+
+def test_multi_hop_route_discovery_and_delivery():
+    # A line of five hosts, one per grid cell: 0..4 at x=50..450.
+    positions = [(50 + 100 * i, 50) for i in range(5)]
+    net = make_static_network(positions)
+    net.run(until=8.0)
+    p = DataPacket(src=0, dst=4, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p.uid in net.packet_log.delivered_at
+    assert p.hops >= 2  # traversed intermediate gateways
+    assert net.counters.get("rreq_originated") >= 1
+    assert net.counters.get("rrep_originated") >= 1
+
+
+def test_sleeping_source_uses_acq_handshake():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    sleeper = net.nodes[0]
+    assert sleeper.protocol.role is Role.SLEEPING
+    p = DataPacket(src=0, dst=1, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    sleeper.send_data(p)
+    net.sim.run(until=net.sim.now + 2.0)
+    assert net.counters.get("acq_sent") >= 1
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_woken_host_returns_to_sleep_when_idle():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    p = DataPacket(src=1, dst=2, created_at=net.sim.now)
+    net.nodes[1].send_data(p)
+    net.sim.run(until=net.sim.now + 1.0)
+    # Shortly after delivery the destination is awake...
+    assert net.nodes[2].protocol.role is Role.ACTIVE
+    # ...and re-sleeps once idle_before_sleep elapses.
+    net.sim.run(until=net.sim.now + 4.0)
+    assert net.nodes[2].protocol.role is Role.SLEEPING
+
+
+# ----------------------------------------------------------------------
+# Gateway maintenance (§3.2)
+# ----------------------------------------------------------------------
+def test_gateway_leaving_hands_off_with_retire():
+    # Host 0 is the lone-center gateway of cell (0,0) and walks east
+    # into cell (1,0) at t=20; hosts 1, 2 stay in cell (0,0).
+    mover = TraceMobility([
+        (0.0, Vec2(50.0, 50.0)),
+        (20.0, Vec2(50.0, 50.0001)),
+        (40.0, Vec2(150.0, 50.0)),
+    ])
+    models = [mover, StaticPosition(Vec2(45.0, 45.0)),
+              StaticPosition(Vec2(70.0, 60.0))]
+    net = make_mobile_network(models)
+    net.run(until=10.0)
+    assert gateways_of(net, (0, 0)) == [0]
+    net.sim.run(until=45.0)
+    # After the move there is exactly one gateway in each grid.
+    assert gateways_of(net, (0, 0)) in ([1], [2])
+    assert net.counters.get("gateway_moves") >= 1
+    # The successor inherited the RETIRE broadcast (stored tables).
+    assert net.counters.get("gateway_elections") >= 2
+
+
+def test_nongateway_leaving_sends_leave_and_rejoins():
+    mover = TraceMobility([
+        (0.0, Vec2(70.0, 50.0)),
+        (20.0, Vec2(70.0, 50.0001)),
+        (40.0, Vec2(170.0, 50.0)),   # walks to cell (1,0)
+    ])
+    models = [StaticPosition(Vec2(50.0, 50.0)), mover,
+              StaticPosition(Vec2(150.0, 50.0))]
+    net = make_mobile_network(models)
+    # The mover sleeps during its pause (zero velocity -> max_dwell
+    # 60 s); it notices the crossing at its dwell wake, so allow for a
+    # full dwell period past the crossing.
+    net.run(until=140.0)
+    gw0 = net.nodes[0].protocol
+    assert not gw0.hosts.is_known(1)  # LEAVE processed
+    assert net.counters.get("leave_sent") >= 1
+    # The mover is now a member of cell (1,0).
+    assert net.nodes[2].protocol.hosts.is_known(1)
+
+
+def test_takeover_by_fresher_newcomer():
+    """§3.2: an incoming host with strictly higher battery band replaces
+    the gateway."""
+    mover = TraceMobility([
+        (0.0, Vec2(250.0, 50.0)),
+        (10.0, Vec2(250.0, 50.0001)),
+        (30.0, Vec2(50.0, 50.0)),    # arrives in cell (0,0)
+    ])
+    models = [StaticPosition(Vec2(50.0, 45.0)), mover]
+    net = make_mobile_network(models)
+    net.start()
+    set_battery(net.nodes[0], 200.0)  # gateway at BOUNDARY band
+    net.sim.run(until=45.0)
+    assert gateways_of(net, (0, 0)) == [1]
+    assert net.counters.get("gateway_takeovers") >= 1
+
+
+def test_gateway_crash_triggers_no_gateway_recovery():
+    """Detection situation 2 (§3.2): a sleeping host wakes to transmit,
+    gets no ACQ answer from the dead gateway, and re-elects.  (Sleeping
+    hosts deliberately never poll — that is ECGRID's selling point — so
+    the crash is only noticed at the next transmit/mobility event.)"""
+    net = make_static_network([(50, 50), (30, 30), (70, 70)])
+    net.run(until=8.0)
+    assert gateways_of(net, (0, 0)) == [0]
+    # Accident: the gateway dies without a RETIRE (paper's third case).
+    net.nodes[0]._on_depleted()
+    net.sim.run(until=net.sim.now + 5.0)
+    assert gateways_of(net, (0, 0)) == []  # nobody noticed yet
+    # A sleeping member now has data to send: ACQ goes unanswered.
+    p = DataPacket(src=1, dst=2, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[1].send_data(p)
+    net.sim.run(until=net.sim.now + 15.0)
+    survivors = gateways_of(net, (0, 0))
+    assert len(survivors) == 1
+    assert survivors[0] in (1, 2)
+    assert net.counters.get("no_gateway_events") >= 1
+    # The buffered packet was eventually delivered after recovery.
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_load_balance_retirement_on_band_change():
+    net = make_static_network([(50, 50), (45, 45)], energy_j=100.0)
+    net.run(until=8.0)
+    first_gw = gateways_of(net, (0, 0))
+    assert first_gw == [0]
+    # Run until the gateway crosses into BOUNDARY (~40 J consumed at
+    # ~0.9 W): it must retire and the rested sleeper take over.
+    net.sim.run(until=60.0)
+    assert net.counters.get("load_balance_retirements") >= 1
+    assert gateways_of(net, (0, 0)) == [1]
+
+
+def test_load_balance_can_be_disabled():
+    from repro.protocols.base import ProtocolParams
+    params = ProtocolParams(load_balance=False)
+    net = make_static_network([(50, 50), (45, 45)], energy_j=100.0,
+                              params=params)
+    net.run(until=60.0)
+    assert net.counters.get("load_balance_retirements", ) == 0
+
+
+def test_sleeping_host_crossing_grid_rejoins_on_dwell_wake():
+    # Host 1 sleeps in cell (0,0), drifts east into cell (1,0).
+    mover = TraceMobility([
+        (0.0, Vec2(80.0, 50.0)),
+        (200.0, Vec2(180.0, 50.0)),   # 0.5 m/s: crosses x=100 at t=40
+    ])
+    models = [StaticPosition(Vec2(50.0, 50.0)), mover,
+              StaticPosition(Vec2(150.0, 50.0))]
+    net = make_mobile_network(models)
+    net.run(until=30.0)
+    assert roles(net)[1] is Role.SLEEPING
+    net.sim.run(until=90.0)
+    # After crossing + dwell wake, host 1 belongs to cell (1,0).
+    assert net.nodes[2].protocol.hosts.is_known(1)
+    assert not net.nodes[0].protocol.hosts.is_known(1)
+
+
+def test_predeath_retirement():
+    """A lower-band gateway hands off just before exhausting (§3.2)."""
+    net = make_static_network([(50, 50), (45, 45)], energy_j=30.0)
+    net.run(until=120.0)
+    assert net.counters.get("predeath_retirements") >= 1
+
+
+# ----------------------------------------------------------------------
+# Energy behaviour
+# ----------------------------------------------------------------------
+def test_sleeping_saves_energy_vs_gateway():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=100.0)
+    gw = net.nodes[1].battery.consumed_at(net.sim.now)
+    sleeper = net.nodes[0].battery.consumed_at(net.sim.now)
+    # Gateway idles at ~0.863 W; sleeper at ~0.163 W.
+    assert sleeper < 0.45 * gw
+
+
+def test_dwell_recheck_without_radio_wakeup():
+    """A paused sleeping host re-arms its dwell timer without waking the
+    radio (§3.2: the GPS check costs nothing)."""
+    from repro.protocols.base import ProtocolParams
+    params = ProtocolParams(max_dwell_s=10.0)
+    net = make_static_network([(30, 30), (50, 50)], params=params)
+    net.run(until=60.0)
+    assert net.counters.get("dwell_rechecks") >= 3
+    assert roles(net)[0] is Role.SLEEPING
+
+
+def test_heuristic_dwell_mode_still_works():
+    """The paper's literal position+velocity dwell estimate remains
+    selectable and functional (it just over-sleeps under churn)."""
+    from repro.protocols.base import ProtocolParams
+    params = ProtocolParams(dwell_mode="heuristic", max_dwell_s=10.0)
+    net = make_static_network([(30, 30), (50, 50)], params=params)
+    net.run(until=40.0)
+    assert roles(net)[0] is Role.SLEEPING
+    assert net.counters.get("dwell_rechecks") >= 2
+
+
+def test_exact_dwell_wakes_at_crossing():
+    """With the itinerary-based dwell the sleeper notices its crossing
+    within min_dwell, even if it slept while paused."""
+    mover = TraceMobility([
+        (0.0, Vec2(80.0, 50.0)),
+        (20.0, Vec2(80.0, 50.0001)),    # paused while falling asleep
+        (25.0, Vec2(180.0, 50.0)),      # then sprints into cell (1,0)
+    ])
+    models = [StaticPosition(Vec2(50.0, 50.0)), mover,
+              StaticPosition(Vec2(150.0, 50.0))]
+    net = make_mobile_network(models)
+    net.run(until=40.0)
+    # Within a few seconds of the crossing (~t=21) the mover has
+    # re-registered with the gateway of (1,0).
+    assert net.nodes[2].protocol.hosts.is_known(1)
+
+
+def test_discovery_restart_recovers_transient_outage():
+    """A destination that is unreachable during the first discovery
+    burst but appears before the cooled-down restart still gets its
+    packets."""
+    net = make_static_network([(50, 50), (150, 50)])
+    net.run(until=8.0)
+    gw = net.nodes[0].protocol
+    # Discover an id that registers with a neighbor gateway only after
+    # the first retry burst (~3 s) but before the restart (+2 s).
+    p = DataPacket(src=0, dst=77, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    gw._start_discovery(77, p)
+    t_appear = net.sim.now + 3.5
+    net.sim.at(t_appear, lambda: net.nodes[1].protocol.hosts.mark_active(77))
+    # Host 77 cannot receive (it does not exist); but the route should
+    # resolve toward node 1's grid and the envelope be unicast to 77.
+    net.sim.run(until=net.sim.now + 8.0)
+    assert net.counters.get("discovery_restarts") >= 1
+    assert net.counters.get("rrep_originated") >= 1

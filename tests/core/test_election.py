@@ -1,0 +1,76 @@
+"""Gateway election rules (paper §3)."""
+
+from repro.core.election import Candidate, beats, elect
+from repro.energy.profile import EnergyLevel
+
+
+def C(id, level=EnergyLevel.UPPER, dist=0.0):
+    return Candidate(id, level, dist)
+
+
+def test_rule1_higher_battery_band_wins():
+    winner = elect([
+        C(1, EnergyLevel.BOUNDARY, dist=0.0),
+        C(2, EnergyLevel.UPPER, dist=50.0),
+        C(3, EnergyLevel.LOWER, dist=0.0),
+    ])
+    assert winner.id == 2
+
+
+def test_rule2_distance_breaks_band_ties():
+    winner = elect([
+        C(1, EnergyLevel.UPPER, dist=30.0),
+        C(2, EnergyLevel.UPPER, dist=10.0),
+        C(3, EnergyLevel.BOUNDARY, dist=1.0),
+    ])
+    assert winner.id == 2
+
+
+def test_rule3_smallest_id_breaks_full_ties():
+    winner = elect([
+        C(5, EnergyLevel.UPPER, dist=10.0),
+        C(2, EnergyLevel.UPPER, dist=10.0),
+        C(9, EnergyLevel.UPPER, dist=10.0),
+    ])
+    assert winner.id == 2
+
+
+def test_non_energy_aware_ignores_bands():
+    """GRID's election: distance then ID only."""
+    winner = elect([
+        C(1, EnergyLevel.LOWER, dist=5.0),
+        C(2, EnergyLevel.UPPER, dist=20.0),
+    ], energy_aware=False)
+    assert winner.id == 1
+
+
+def test_empty_candidate_set():
+    assert elect([]) is None
+
+
+def test_single_candidate_wins():
+    assert elect([C(7)]).id == 7
+
+
+def test_election_is_total_order_consistent():
+    """Every host evaluating the same set must agree (the property the
+    distributed election relies on)."""
+    cands = [
+        C(1, EnergyLevel.UPPER, 30.0),
+        C(2, EnergyLevel.BOUNDARY, 1.0),
+        C(3, EnergyLevel.UPPER, 29.0),
+        C(4, EnergyLevel.UPPER, 29.0),
+    ]
+    winners = set()
+    import itertools
+    for perm in itertools.permutations(cands):
+        winners.add(elect(list(perm)).id)
+    assert winners == {3}
+
+
+def test_beats_is_antisymmetric():
+    a = C(1, EnergyLevel.UPPER, 10.0)
+    b = C(2, EnergyLevel.UPPER, 20.0)
+    assert beats(a, b)
+    assert not beats(b, a)
+    assert not beats(a, a)

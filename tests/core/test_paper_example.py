@@ -1,0 +1,164 @@
+"""The paper's own worked examples as executable tests.
+
+Figure 2 (§3.3): hosts S, A, B, C, D, E, F, I are elected gateways of
+grids (1,1), (1,2), (2,2), (2,1), (5,3), (3,2), (4,2), (0,2); the
+non-gateway hosts sleep.  S discovers a route to D inside the
+rectangle bounded by (1,1) and (5,3) and data flows gateway-to-
+gateway; if the destination is the non-gateway G instead, D's gateway
+pages G awake and forwards.
+
+Figure 3 (§3.4): route maintenance when the source gateway roams.
+"""
+
+import pytest
+
+from repro.core.base import Role
+from repro.geo.vector import Vec2
+from repro.mobility.static import StaticPosition
+from repro.mobility.trace import TraceMobility
+from repro.net.packet import DataPacket
+
+from tests.helpers import make_mobile_network, make_static_network
+
+
+def center(cx, cy):
+    """Center of grid cell (cx, cy) with the paper's d = 100 m."""
+    return (cx * 100.0 + 50.0, cy * 100.0 + 50.0)
+
+
+#: Gateways-to-be, at their cells' centers (paper Fig. 2).
+GATEWAY_CELLS = {
+    "S": (1, 1), "A": (1, 2), "B": (2, 2), "C": (2, 1),
+    "D": (5, 3), "E": (3, 2), "F": (4, 2), "I": (0, 2),
+}
+NAMES = list(GATEWAY_CELLS)          # ids 0..7 in this order
+S, A, B, C, D, E, F, I = range(8)
+G, J = 8, 9                          # non-gateway hosts
+
+
+def fig2_network():
+    positions = [center(*GATEWAY_CELLS[n]) for n in NAMES]
+    positions.append((575.0, 330.0))   # G: off-center in D's grid (5,3)
+    positions.append((130.0, 120.0))   # J: off-center in S's grid (1,1)
+    net = make_static_network(positions, width=600.0, height=400.0)
+    net.run(until=8.0)
+    return net
+
+
+def test_fig2_election_matches_paper():
+    net = fig2_network()
+    for node_id, name in enumerate(NAMES):
+        proto = net.nodes[node_id].protocol
+        assert proto.role is Role.GATEWAY, name
+        assert proto.my_cell == GATEWAY_CELLS[name], name
+    assert net.nodes[G].protocol.role is Role.SLEEPING
+    assert net.nodes[J].protocol.role is Role.SLEEPING
+
+
+def test_fig2_route_discovery_s_to_d():
+    net = fig2_network()
+    p = DataPacket(src=S, dst=D, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[S].send_data(p)
+    net.sim.run(until=net.sim.now + 5.0)
+    assert p.uid in net.packet_log.delivered_at
+    # Multi-hop through intermediate gateways: S and D are ~447 m
+    # apart, beyond radio range, so at least one relay (E at (3,2) can
+    # reach both) is required.
+    assert p.hops >= 2
+    assert net.counters.get("rreq_originated") >= 1
+    assert net.counters.get("rrep_originated") >= 1
+    # S holds a grid-level route toward D now.
+    assert net.nodes[S].protocol.routing.lookup(D, net.sim.now) is not None
+
+
+def test_fig2_destination_g_is_paged_by_its_gateway():
+    """'The gateway, D, is responsible for waking G up and buffering
+    data packets sent to G before G is ready to receive.'"""
+    net = fig2_network()
+    assert net.nodes[G].protocol.role is Role.SLEEPING
+    p = DataPacket(src=S, dst=G, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[S].send_data(p)
+    net.sim.run(until=net.sim.now + 5.0)
+    assert p.uid in net.packet_log.delivered_at
+    assert net.counters.get("pages_sent") >= 1
+    # G woke to receive.
+    assert net.nodes[G].protocol.role in (Role.ACTIVE, Role.SLEEPING)
+
+
+def test_fig2_sleeping_source_j_uses_acq():
+    net = fig2_network()
+    p = DataPacket(src=J, dst=D, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[J].send_data(p)
+    net.sim.run(until=net.sim.now + 5.0)
+    assert net.counters.get("acq_sent") >= 1
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_fig3_case1_source_moves_into_next_grid_along_route():
+    """§3.4 case 1: S roams into g2 (the next grid along the route);
+    the route keeps working either way (takeover or forwarding via
+    B)."""
+    # S at (1,1) routes to dest at (3,1) via (2,1); S then walks into
+    # (2,1) itself.
+    mover = TraceMobility([
+        (0.0, Vec2(150.0, 150.0)),
+        (15.0, Vec2(150.0, 150.0001)),
+        (40.0, Vec2(250.0, 150.0)),      # into cell (2,1)
+    ])
+    models = [
+        mover,
+        StaticPosition(Vec2(250.0, 150.0)),   # gateway of (2,1)
+        StaticPosition(Vec2(350.0, 150.0)),   # dest gateway of (3,1)
+    ]
+    net = make_mobile_network(models, width=600.0, height=400.0)
+    net.run(until=10.0)
+    p1 = DataPacket(src=0, dst=2, created_at=net.sim.now)
+    net.packet_log.on_sent(p1)
+    net.nodes[0].send_data(p1)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p1.uid in net.packet_log.delivered_at
+    # After the move, sending still works from inside g2.
+    net.sim.run(until=45.0)
+    p2 = DataPacket(src=0, dst=2, created_at=net.sim.now)
+    net.packet_log.on_sent(p2)
+    net.nodes[0].send_data(p2)
+    net.sim.run(until=net.sim.now + 5.0)
+    assert p2.uid in net.packet_log.delivered_at
+
+
+def test_fig3_case3_gateway_redirects_routes_through_old_grid():
+    """§3.4 case 3: a roaming gateway re-points far route entries at
+    the grid it left (one hop longer, not broken)."""
+    # Gateway 0 of (0,0) has a route to dest 3 at (3,0) via (1,0); it
+    # then moves *away* to (0,1), which does not neighbor... (1,0) is
+    # adjacent to (0,1) actually; move it to (0,2) via two crossings.
+    mover = TraceMobility([
+        (0.0, Vec2(50.0, 50.0)),
+        (12.0, Vec2(50.0, 50.0001)),
+        (60.0, Vec2(50.0, 250.0)),       # to cell (0,2): (1,0) no longer adjacent
+    ])
+    models = [
+        mover,
+        StaticPosition(Vec2(55.0, 45.0)),     # stays in (0,0): inherits
+        StaticPosition(Vec2(150.0, 50.0)),    # gateway (1,0)
+        StaticPosition(Vec2(250.0, 50.0)),    # gateway (2,0)
+        StaticPosition(Vec2(55.0, 150.0)),    # gateway (0,1): bridges
+    ]
+    net = make_mobile_network(models, width=600.0, height=400.0)
+    net.run(until=10.0)
+    p1 = DataPacket(src=0, dst=3, created_at=net.sim.now)
+    net.packet_log.on_sent(p1)
+    net.nodes[0].send_data(p1)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p1.uid in net.packet_log.delivered_at
+    # Let the gateway roam to (0,2) and verify the redirect fired.
+    net.sim.run(until=70.0)
+    assert net.counters.get("routes_redirected_via_old_grid") >= 1
+    p2 = DataPacket(src=0, dst=3, created_at=net.sim.now)
+    net.packet_log.on_sent(p2)
+    net.nodes[0].send_data(p2)
+    net.sim.run(until=net.sim.now + 8.0)
+    assert p2.uid in net.packet_log.delivered_at

@@ -1,0 +1,184 @@
+"""GridRoutingMixin internals: search regions, RERR chains, buffers,
+duplicate caches, demotion cleanup."""
+
+import pytest
+
+from repro.core.base import Role
+from repro.core.messages import Rerr, Rreq
+from repro.geo.region import Rect, whole_map_region
+from repro.net.packet import DataPacket
+from repro.protocols.base import ProtocolParams
+
+from tests.helpers import make_static_network
+
+
+def line_net(n=5, protocol="ecgrid", params=None):
+    positions = [(50 + 100 * i, 50) for i in range(n)]
+    net = make_static_network(positions, protocol=protocol, params=params)
+    net.run(until=8.0)
+    return net
+
+
+def send(net, src, dst):
+    p = DataPacket(src=src, dst=dst, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes_by_id[src].send_data(p)
+    return p
+
+
+# ----------------------------------------------------------------------
+# Search regions
+# ----------------------------------------------------------------------
+def test_search_region_global_without_location():
+    net = line_net()
+    proto = net.nodes[0].protocol
+    assert 99 not in proto.location_cache
+    region = proto._search_region(99, retries=0)
+    assert region == whole_map_region(net.grid)
+
+
+def test_search_region_bbox_with_location():
+    params = ProtocolParams(search_policy="bbox")
+    net = line_net(params=params)
+    proto = net.nodes[0].protocol
+    proto.location_cache[4] = (4, 0)
+    region = proto._search_region(4, retries=0)
+    assert region == Rect(0, 0, 4, 0)
+
+
+def test_search_region_margin_expands():
+    net = line_net()  # default policy bbox_margin, margin 1
+    proto = net.nodes[0].protocol
+    proto.location_cache[4] = (4, 0)
+    region = proto._search_region(4, retries=0)
+    assert region == Rect(0, 0, 5, 1)  # clipped at y=0 and map edges
+
+
+def test_search_region_escalates_to_global_on_retry():
+    net = line_net()
+    proto = net.nodes[0].protocol
+    proto.location_cache[4] = (4, 0)
+    assert proto._search_region(4, retries=1) == whole_map_region(net.grid)
+
+
+def test_search_policy_global_always_floods():
+    params = ProtocolParams(search_policy="global")
+    net = line_net(params=params)
+    proto = net.nodes[0].protocol
+    proto.location_cache[4] = (4, 0)
+    assert proto._search_region(4, retries=0) == whole_map_region(net.grid)
+
+
+# ----------------------------------------------------------------------
+# RREQ handling
+# ----------------------------------------------------------------------
+def test_rreq_outside_region_is_ignored():
+    net = line_net()
+    proto = net.nodes[2].protocol  # gateway of cell (2,0)
+    before = net.counters.get("rreq_forwarded")
+    msg = Rreq(src=99, s_seq=1, dst=88, rreq_id=1,
+               region=Rect(5, 5, 9, 9),   # excludes (2,0)
+               from_cell=(1, 0), origin_cell=(1, 0))
+    proto._on_rreq(msg)
+    assert net.counters.get("rreq_forwarded") == before
+
+
+def test_duplicate_rreq_dropped():
+    net = line_net()
+    proto = net.nodes[2].protocol
+    msg = Rreq(src=99, s_seq=1, dst=88, rreq_id=7,
+               region=whole_map_region(net.grid),
+               from_cell=(1, 0), origin_cell=(1, 0))
+    before = net.counters.get("rreq_forwarded")
+    proto._on_rreq(msg)
+    first = net.counters.get("rreq_forwarded")
+    proto._on_rreq(msg)
+    assert net.counters.get("rreq_forwarded") == first
+    assert first == before + 1
+
+
+def test_rreq_installs_reverse_route():
+    net = line_net()
+    proto = net.nodes[2].protocol
+    msg = Rreq(src=99, s_seq=5, dst=88, rreq_id=3,
+               region=whole_map_region(net.grid),
+               from_cell=(1, 0), origin_cell=(0, 0))
+    proto._on_rreq(msg)
+    entry = proto.routing.lookup(99, net.sim.now)
+    assert entry is not None
+    assert entry.next_cell == (1, 0)
+    assert proto.location_cache[99] == (0, 0)
+
+
+def test_seen_rreq_cache_is_bounded():
+    from repro.core.routing import _SEEN_RREQ_LIMIT
+    net = line_net(n=2)
+    proto = net.nodes[0].protocol
+    for i in range(_SEEN_RREQ_LIMIT + 100):
+        proto._remember_rreq((12345, i))
+    assert len(proto._seen_rreq) <= _SEEN_RREQ_LIMIT
+    assert len(proto._seen_rreq_order) <= _SEEN_RREQ_LIMIT
+
+
+# ----------------------------------------------------------------------
+# RERR propagation
+# ----------------------------------------------------------------------
+def test_rerr_invalidates_route_hop_by_hop():
+    net = line_net()
+    # Warm a route 0 -> 4.
+    p = send(net, 0, 4)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p.uid in net.packet_log.delivered_at
+    proto0 = net.nodes[0].protocol
+    assert proto0.routing.lookup(4, net.sim.now) is not None
+    # Inject an RERR as if the route broke downstream at cell (2,0).
+    proto1 = net.nodes[1].protocol
+    proto1._on_rerr(Rerr(src=0, dst=4, broken_cell=(2, 0)))
+    assert proto1.routing.lookup(4, net.sim.now) is None
+    net.sim.run(until=net.sim.now + 1.0)
+    # Propagated to the source's gateway (node 0 itself is source + gw).
+    assert proto0.routing.lookup(4, net.sim.now) is None
+
+
+# ----------------------------------------------------------------------
+# Demotion cleanup
+# ----------------------------------------------------------------------
+def test_demotion_requeues_buffered_work():
+    net = line_net(n=2)
+    gw = net.nodes[0].protocol
+    assert gw.is_gateway
+    # Park a packet inside a pending discovery, then demote.
+    pkt = DataPacket(src=0, dst=77, created_at=net.sim.now)
+    gw._start_discovery(77, pkt)
+    assert 77 in gw.pending
+    gw.demote_to_active()
+    assert not gw.pending
+    assert pkt in gw.pending_local
+
+
+def test_death_clears_routing_state():
+    net = line_net(n=2)
+    gw = net.nodes[0].protocol
+    pkt = DataPacket(src=0, dst=77, created_at=net.sim.now)
+    gw._start_discovery(77, pkt)
+    net.nodes[0]._on_depleted()
+    assert not gw.pending
+    assert not gw.pending_local
+    assert not gw.host_buffers
+
+
+# ----------------------------------------------------------------------
+# Gateway-of lookups
+# ----------------------------------------------------------------------
+def test_gateway_of_own_cell():
+    net = line_net(n=2)
+    gw = net.nodes[0].protocol
+    assert gw._gateway_of(gw.my_cell) == 0
+
+
+def test_gateway_of_expires_stale_entries():
+    net = line_net(n=2)
+    gw = net.nodes[0].protocol
+    gw.neighbor_gateways[(5, 5)] = (99, net.sim.now - 1000.0)
+    assert gw._gateway_of((5, 5)) is None
+    assert (5, 5) not in gw.neighbor_gateways

@@ -1,0 +1,122 @@
+"""Routing and host tables."""
+
+from repro.core.tables import HostTable, RoutingTable
+
+
+def test_routing_lookup_and_update():
+    rt = RoutingTable()
+    assert rt.lookup(5, now=0.0) is None
+    rt.update(5, (2, 3), seq=1, now=0.0, lifetime=10.0)
+    e = rt.lookup(5, now=5.0)
+    assert e.next_cell == (2, 3)
+    assert e.seq == 1
+
+
+def test_routing_entries_expire():
+    rt = RoutingTable()
+    rt.update(5, (2, 3), seq=1, now=0.0, lifetime=10.0)
+    assert rt.lookup(5, now=10.1) is None
+
+
+def test_fresher_seq_replaces():
+    rt = RoutingTable()
+    rt.update(5, (1, 1), seq=2, now=0.0, lifetime=10.0)
+    assert rt.update(5, (9, 9), seq=3, now=0.0, lifetime=10.0)
+    assert rt.lookup(5, now=1.0).next_cell == (9, 9)
+
+
+def test_staler_seq_rejected_while_fresh():
+    rt = RoutingTable()
+    rt.update(5, (1, 1), seq=5, now=0.0, lifetime=10.0)
+    assert not rt.update(5, (9, 9), seq=2, now=1.0, lifetime=10.0)
+    assert rt.lookup(5, now=1.0).next_cell == (1, 1)
+
+
+def test_stale_seq_accepted_after_expiry():
+    rt = RoutingTable()
+    rt.update(5, (1, 1), seq=5, now=0.0, lifetime=10.0)
+    assert rt.update(5, (9, 9), seq=2, now=20.0, lifetime=10.0)
+
+
+def test_equal_seq_refreshes_route():
+    rt = RoutingTable()
+    rt.update(5, (1, 1), seq=5, now=0.0, lifetime=10.0)
+    assert rt.update(5, (2, 2), seq=5, now=1.0, lifetime=10.0)
+
+
+def test_invalidate_and_invalidate_via():
+    rt = RoutingTable()
+    rt.update(1, (1, 1), 1, 0.0, 10.0)
+    rt.update(2, (1, 1), 1, 0.0, 10.0)
+    rt.update(3, (2, 2), 1, 0.0, 10.0)
+    rt.invalidate(1)
+    assert rt.lookup(1, 0.0) is None
+    broken = sorted(rt.invalidate_via((1, 1)))
+    assert broken == [2]
+    assert rt.lookup(3, 0.0) is not None
+
+
+def test_touch_extends_lifetime():
+    rt = RoutingTable()
+    rt.update(5, (1, 1), 1, now=0.0, lifetime=10.0)
+    rt.touch(5, now=8.0, lifetime=10.0)
+    assert rt.lookup(5, now=15.0) is not None
+
+
+def test_snapshot_roundtrip():
+    rt = RoutingTable()
+    rt.update(1, (1, 1), 4, 0.0, 10.0)
+    rt.update(2, (2, 0), 7, 0.0, 10.0)
+    snap = rt.snapshot()
+    rt2 = RoutingTable()
+    rt2.load_snapshot(snap, now=5.0, lifetime=10.0)
+    assert rt2.lookup(1, 5.0).next_cell == (1, 1)
+    assert rt2.lookup(2, 5.0).seq == 7
+    assert len(rt2) == 2
+    assert 1 in rt2
+
+
+def test_host_table_status_lifecycle():
+    ht = HostTable()
+    assert ht.is_awake(9) is None
+    ht.mark_active(9)
+    assert ht.is_awake(9) is True
+    assert ht.is_known(9)
+    ht.mark_sleeping(9)
+    assert ht.is_awake(9) is False
+    ht.remove(9)
+    assert not ht.is_known(9)
+
+
+def test_host_table_snapshot_roundtrip():
+    ht = HostTable()
+    ht.mark_active(1)
+    ht.mark_sleeping(2)
+    snap = ht.snapshot()
+    ht2 = HostTable()
+    ht2.load_snapshot(snap)
+    assert ht2.is_awake(1) is True
+    assert ht2.is_awake(2) is False
+    assert len(ht2) == 2
+    assert sorted(ht2.members()) == [1, 2]
+
+
+def test_host_table_clear():
+    ht = HostTable()
+    ht.mark_active(1)
+    ht.clear()
+    assert len(ht) == 0
+
+
+def test_redirect_non_adjacent_rewrites_far_entries():
+    """§3.4 case 3: entries whose next grid no longer neighbors the
+    moved owner get re-pointed at the grid just left."""
+    rt = RoutingTable()
+    rt.update(1, (5, 5), 1, 0.0, 100.0)   # far: rewritten
+    rt.update(2, (1, 1), 1, 0.0, 100.0)   # adjacent to (2,1): kept
+    rt.update(3, (1, 0), 1, 0.0, 100.0)   # the old cell itself: kept
+    n = rt.redirect_non_adjacent(new_cell=(2, 1), old_cell=(1, 0))
+    assert n == 1
+    assert rt.lookup(1, 0.0).next_cell == (1, 0)
+    assert rt.lookup(2, 0.0).next_cell == (1, 1)
+    assert rt.lookup(3, 0.0).next_cell == (1, 0)

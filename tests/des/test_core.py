@@ -1,0 +1,203 @@
+"""Simulator kernel: ordering, scheduling rules, run-loop semantics."""
+
+import pytest
+
+from repro.des.core import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(3.0, order.append, "c")
+    sim.at(1.0, order.append, "a")
+    sim.at(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.at(1.0, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_priority_breaks_same_time_ties():
+    sim = Simulator()
+    order = []
+    sim.at(1.0, order.append, "late", priority=10)
+    sim.at(1.0, order.append, "early", priority=0)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.at(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(10.0, fired.append, 10)
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0  # clock parked exactly at the horizon
+    sim.run(until=20.0)
+    assert fired == [1, 10]
+
+
+def test_run_until_sets_clock_even_with_empty_calendar():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_after_schedules_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(2.0, lambda: sim.after(3.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_scheduling_into_the_past_raises():
+    sim = Simulator()
+    sim.at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-0.1, lambda: None)
+
+
+def test_call_soon_runs_after_current_event():
+    sim = Simulator()
+    order = []
+
+    def first():
+        sim.call_soon(order.append, "soon")
+        order.append("first")
+
+    sim.at(1.0, first)
+    sim.at(1.0, order.append, "second")
+    sim.run()
+    # call_soon fires at the same instant but after already-queued
+    # same-time events.
+    assert order == ["first", "second", "soon"]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    sim = Simulator()
+    handle = sim.at(1.0, lambda: None)
+    sim.run()
+    handle.cancel()
+    handle.cancel()
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, sim.stop)
+    sim.at(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    # Remaining events still pending; a new run resumes.
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    h.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.at(1.0, reenter)
+    sim.run()
+
+
+def test_events_scheduled_during_run_fire_in_same_run():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, lambda: sim.at(1.5, seen.append, "nested"))
+    sim.run()
+    assert seen == ["nested"]
+
+
+def test_heap_compaction_reclaims_cancelled_events():
+    """Cancelling many far-future events must not hoard memory: the
+    calendar compacts once cancelled entries dominate."""
+    sim = Simulator()
+    handles = [sim.at(1e6 + i, lambda: None) for i in range(40_000)]
+    for h in handles:
+        h.cancel()
+    # Trigger the periodic check with fresh scheduling activity.
+    for i in range(40_000):
+        sim.at(1e6 + i, lambda: None)
+    assert sim.pending < 60_000  # the 40k cancelled ones were swept
+    sim.at(0.5, lambda: None)
+    sim.run(until=1.0)  # live events still fire in order
+    assert sim.events_executed == 1
+
+
+def test_compaction_preserves_pending_live_events():
+    sim = Simulator()
+    fired = []
+    keep = [sim.at(float(i), fired.append, i) for i in range(10)]
+    drop = [sim.at(1e5 + i, lambda: None) for i in range(50_000)]
+    for h in drop:
+        h.cancel()
+    for i in range(20_000):  # force the check past the threshold
+        sim.at(2e5 + i, lambda: None).cancel()
+    sim.run(until=100.0)
+    assert fired == list(range(10))

@@ -1,0 +1,35 @@
+"""Event record ordering and handles."""
+
+from repro.des.event import Event, EventHandle, cancel_if_active
+
+
+def make(time, priority=0, seq=0):
+    return Event(time, priority, seq, lambda: None)
+
+
+def test_ordering_time_then_priority_then_seq():
+    assert make(1.0) < make(2.0)
+    assert make(1.0, priority=0) < make(1.0, priority=1)
+    assert make(1.0, 0, seq=1) < make(1.0, 0, seq=2)
+    assert not (make(2.0) < make(1.0))
+
+
+def test_handle_reports_time_and_active():
+    ev = make(3.0)
+    h = EventHandle(ev)
+    assert h.time == 3.0
+    assert h.active
+    h.cancel()
+    assert not h.active
+    assert ev.cancelled
+
+
+def test_cancel_if_active_accepts_none():
+    cancel_if_active(None)  # no exception
+
+
+def test_cancel_if_active_cancels():
+    ev = make(1.0)
+    h = EventHandle(ev)
+    cancel_if_active(h)
+    assert ev.cancelled

@@ -1,0 +1,134 @@
+"""Timer and PeriodicTimer semantics."""
+
+import pytest
+
+from repro.des.core import Simulator
+from repro.des.timer import PeriodicTimer, Timer
+
+
+def test_timer_fires_once_after_delay():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(2.5)
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_timer_restart_supersedes_previous_arming():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(5.0)
+    t.start(1.0)  # re-arm earlier; the 5.0 arming must not fire
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(1))
+    t.start(1.0)
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert not t.armed
+
+
+def test_timer_armed_and_expiry():
+    sim = Simulator()
+    t = Timer(sim, lambda: None)
+    assert not t.armed
+    assert t.expiry is None
+    t.start(3.0)
+    assert t.armed
+    assert t.expiry == 3.0
+    sim.run()
+    assert not t.armed
+
+
+def test_timer_start_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start_at(7.0)
+    sim.run()
+    assert fired == [7.0]
+
+
+def test_timer_can_rearm_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            t.start(1.0)
+
+    t = Timer(sim, cb)
+    t.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_timer_fires_every_period():
+    sim = Simulator()
+    fired = []
+    p = PeriodicTimer(sim, lambda: fired.append(sim.now), period=2.0)
+    p.start()
+    sim.run(until=9.0)
+    assert fired == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_periodic_timer_initial_delay():
+    sim = Simulator()
+    fired = []
+    p = PeriodicTimer(sim, lambda: fired.append(sim.now), period=5.0)
+    p.start(initial_delay=1.0)
+    sim.run(until=12.0)
+    assert fired == [1.0, 6.0, 11.0]
+
+
+def test_periodic_timer_stop():
+    sim = Simulator()
+    fired = []
+    p = PeriodicTimer(sim, lambda: fired.append(sim.now), period=1.0)
+    p.start()
+    sim.at(3.5, p.stop)
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0, 3.0]
+    assert not p.running
+
+
+def test_periodic_timer_jitter_bounds():
+    sim = Simulator()
+    fired = []
+    p = PeriodicTimer(
+        sim, lambda: fired.append(sim.now), period=10.0,
+        jitter=lambda: 0.5,
+    )
+    p.start()
+    sim.run(until=25.0)
+    # Every interval is period + jitter = 10.5.
+    assert fired == pytest.approx([10.5, 21.0])
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, lambda: None, period=0.0)
+
+
+def test_periodic_timer_stop_within_callback():
+    sim = Simulator()
+    fired = []
+
+    def cb():
+        fired.append(sim.now)
+        p.stop()
+
+    p = PeriodicTimer(sim, cb, period=1.0)
+    p.start()
+    sim.run(until=5.0)
+    assert fired == [1.0]

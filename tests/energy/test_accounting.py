@@ -1,0 +1,107 @@
+"""BatteryMonitor: depletion and band-crossing events."""
+
+import math
+
+import pytest
+
+from repro.des.core import Simulator
+from repro.energy.accounting import BatteryMonitor
+from repro.energy.battery import Battery
+from repro.energy.profile import EnergyLevel
+
+
+def make(capacity=100.0, max_draw=2.0):
+    sim = Simulator()
+    battery = Battery(capacity)
+    events = {"depleted_at": None, "levels": []}
+    mon = BatteryMonitor(
+        sim,
+        battery,
+        on_depleted=lambda: events.__setitem__("depleted_at", sim.now),
+        on_level_change=lambda old, new: events["levels"].append(
+            (sim.now, old, new)
+        ),
+        max_draw_w=max_draw,
+    )
+    return sim, battery, mon, events
+
+
+def test_depletion_fires_near_exact_time():
+    sim, battery, mon, events = make(capacity=100.0, max_draw=2.0)
+    mon.set_draw(1.0)  # empty at t=100
+    sim.run(until=200.0)
+    assert events["depleted_at"] == pytest.approx(100.0, abs=0.5)
+    assert battery.depleted
+
+
+def test_depletion_fires_once():
+    sim, battery, mon, events = make(capacity=10.0)
+    mon.set_draw(1.0)
+    count = []
+    mon.on_depleted = lambda: count.append(sim.now)
+    sim.run(until=100.0)
+    assert len(count) == 1
+
+
+def test_band_crossings_fire_in_order():
+    sim, battery, mon, events = make(capacity=100.0, max_draw=2.0)
+    mon.set_draw(1.0)  # crosses 0.6 at t=40, 0.2 at t=80
+    sim.run(until=200.0)
+    transitions = [(old, new) for _, old, new in events["levels"]]
+    assert transitions == [
+        (EnergyLevel.UPPER, EnergyLevel.BOUNDARY),
+        (EnergyLevel.BOUNDARY, EnergyLevel.LOWER),
+    ]
+    t_upper = events["levels"][0][0]
+    t_lower = events["levels"][1][0]
+    assert t_upper == pytest.approx(40.0, abs=0.5)
+    assert t_lower == pytest.approx(80.0, abs=0.5)
+
+
+def test_varying_draw_still_detects_crossings():
+    sim, battery, mon, events = make(capacity=100.0, max_draw=2.0)
+    # Alternate draw every 5 s between 0.5 and 1.5 (mean 1.0).
+    def toggle(w):
+        mon.set_draw(w)
+        sim.after(5.0, toggle, 2.0 - w)
+    toggle(1.5)
+    sim.run(until=150.0)
+    assert events["depleted_at"] is not None
+    assert events["depleted_at"] == pytest.approx(100.0, abs=2.0)
+    assert len(events["levels"]) == 2
+
+
+def test_zero_draw_schedules_nothing_until_needed():
+    sim, battery, mon, events = make()
+    mon.set_draw(0.0)
+    sim.run(until=50.0)
+    assert events["depleted_at"] is None
+    # Draw resumes: monitoring resumes.
+    mon.set_draw(10.0)
+    sim.run(until=100.0)
+    assert events["depleted_at"] is not None
+
+
+def test_infinite_battery_creates_no_events():
+    sim = Simulator()
+    mon = BatteryMonitor(sim, Battery(math.inf), max_draw_w=2.0)
+    mon.set_draw(5.0)
+    assert sim.pending == 0
+
+
+def test_no_event_accumulation():
+    """The regression that melted the first full run: draw changes must
+    not leak cancelled calendar entries."""
+    sim, battery, mon, events = make(capacity=1000.0, max_draw=2.0)
+    for i in range(10_000):
+        mon.set_draw(0.5 if i % 2 else 1.0)
+    # At most a handful of live check events, regardless of churn.
+    assert sim.pending < 10
+
+
+def test_cancel_suppresses_callbacks():
+    sim, battery, mon, events = make(capacity=10.0)
+    mon.set_draw(1.0)
+    mon.cancel()
+    sim.run(until=100.0)
+    assert events["depleted_at"] is None

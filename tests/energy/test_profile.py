@@ -1,0 +1,61 @@
+"""Power profile constants and band mapping."""
+
+import pytest
+
+from repro.energy.profile import (
+    EnergyLevel,
+    PAPER_PROFILE,
+    PowerProfile,
+    RadioMode,
+    level_of,
+)
+
+
+def test_paper_constants():
+    """Exactly the Feeney/Cabletron numbers the paper uses (§4)."""
+    p = PAPER_PROFILE
+    assert p.tx_w == pytest.approx(1.400)
+    assert p.rx_w == pytest.approx(1.000)
+    assert p.idle_w == pytest.approx(0.830)
+    assert p.sleep_w == pytest.approx(0.130)
+    assert p.gps_w == pytest.approx(0.033)
+
+
+def test_radio_power_lookup():
+    p = PAPER_PROFILE
+    assert p.radio_power(RadioMode.TX) == 1.400
+    assert p.radio_power(RadioMode.RX) == 1.000
+    assert p.radio_power(RadioMode.IDLE) == 0.830
+    assert p.radio_power(RadioMode.SLEEP) == 0.130
+    assert p.radio_power(RadioMode.OFF) == 0.0
+
+
+def test_total_power_includes_gps_except_off():
+    p = PAPER_PROFILE
+    assert p.total_power(RadioMode.IDLE) == pytest.approx(0.863)
+    assert p.total_power(RadioMode.SLEEP) == pytest.approx(0.163)
+    assert p.total_power(RadioMode.OFF) == 0.0
+
+
+def test_grid_lifetime_prediction():
+    """The paper's GRID network dies at ~590 s: 500 J / 0.863 W = 579 s."""
+    p = PAPER_PROFILE
+    assert 500.0 / p.total_power(RadioMode.IDLE) == pytest.approx(579.4, abs=0.5)
+
+
+def test_level_of_thresholds():
+    assert level_of(1.0) is EnergyLevel.UPPER
+    assert level_of(0.61) is EnergyLevel.UPPER
+    assert level_of(0.60) is EnergyLevel.BOUNDARY
+    assert level_of(0.20) is EnergyLevel.BOUNDARY
+    assert level_of(0.19) is EnergyLevel.LOWER
+    assert level_of(0.0) is EnergyLevel.LOWER
+
+
+def test_levels_are_ordered_for_election():
+    assert EnergyLevel.UPPER > EnergyLevel.BOUNDARY > EnergyLevel.LOWER
+
+
+def test_custom_profile():
+    p = PowerProfile(tx_w=2.0, rx_w=1.5, idle_w=1.0, sleep_w=0.1, gps_w=0.0)
+    assert p.total_power(RadioMode.TX) == 2.0

@@ -1,0 +1,48 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_subcommand(capsys):
+    rc = main([
+        "run", "--protocol", "grid", "--hosts", "8", "--time", "20",
+        "--area", "320", "--flows", "2", "--energy", "40", "--seed", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "delivery" in out
+
+
+def test_fig4_subcommand(capsys):
+    rc = main(["fig4", "--scale", "0.08", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out
+    assert "ecgrid" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "bogus"])
+
+
+def test_watch_subcommand(capsys):
+    rc = main(["watch", "--hosts", "8", "--area", "320", "--time", "20",
+               "--every", "10", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "alive=" in out
+    assert "delivery" in out
+
+
+def test_fig_with_seeds_flag(capsys):
+    rc = main(["fig4", "--scale", "0.08", "--seed", "3", "--seeds", "2"])
+    assert rc == 0
+    assert "mean of 2 seeds" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Exporters: JSON/CSV round-trips."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.experiments.figures import FigureData
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(
+        protocol="grid", n_hosts=8, width_m=300.0, height_m=300.0,
+        n_flows=2, sim_time_s=20.0, initial_energy_j=50.0, seed=6,
+    ))
+
+
+def test_result_to_dict_is_complete(result):
+    d = result_to_dict(result)
+    assert d["config"]["protocol"] == "grid"
+    assert d["sent"] == result.sent
+    assert len(d["alive_fraction"]) == len(result.alive_fraction)
+    assert isinstance(d["counters"], dict)
+
+
+def test_result_to_json_parses(result):
+    parsed = json.loads(result_to_json(result))
+    assert parsed["delivered"] == result.delivered
+    assert parsed["config"]["n_hosts"] == 8
+
+
+def make_fig():
+    return FigureData(
+        "figX", "Title", "t", "y",
+        {
+            "a": [(0.0, 1.0), (10.0, 0.5)],
+            "b": [(0.0, 0.9), (20.0, 0.2)],
+        },
+    )
+
+
+def test_figure_to_csv_union_of_x():
+    rows = list(csv.reader(io.StringIO(figure_to_csv(make_fig()))))
+    assert rows[0] == ["t", "a", "b"]
+    assert len(rows) == 4  # header + x in {0, 10, 20}
+    assert rows[1] == ["0.0", "1.0", "0.9"]
+    assert rows[2][2] == ""  # b has no sample at x=10
+
+
+def test_figure_to_json_parses():
+    parsed = json.loads(figure_to_json(make_fig()))
+    assert parsed["figure_id"] == "figX"
+    assert parsed["series"]["a"] == [[0.0, 1.0], [10.0, 0.5]]
+
+
+def test_cli_writes_csv(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "fig.csv"
+    rc = main(["fig4", "--scale", "0.08", "--seed", "3",
+               "--csv", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert text.startswith("t(s)")
+    assert "ecgrid" in text

@@ -1,0 +1,80 @@
+"""Figure regeneration functions on tiny scales.
+
+These validate plumbing (series shapes, labels, readouts); the *science*
+(paper-shape claims) lives in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+SCALE = 0.1  # ~10 hosts, ~320 m, 200 s horizon
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return figures.lifetime_runs(speed=1.0, scale=SCALE, seed=3)
+
+
+def test_lifetime_runs_cover_protocols(runs):
+    assert set(runs) == {"grid", "ecgrid", "gaf"}
+
+
+def test_fig4_series(runs):
+    fig = figures.fig4(runs=runs)
+    assert set(fig.series) == {"grid", "ecgrid", "gaf"}
+    for label, series in fig.series.items():
+        assert series[0][1] == 1.0  # everyone alive at t=0
+        xs = [x for x, _ in series]
+        assert xs == sorted(xs)
+    assert "alive" in fig.to_text().lower()
+
+
+def test_fig5_series(runs):
+    fig = figures.fig5(runs=runs)
+    for label, series in fig.series.items():
+        ys = [y for _, y in series]
+        assert ys[0] == pytest.approx(0.0, abs=1e-6)
+        # aen is non-decreasing.
+        assert all(b >= a - 1e-9 for a, b in zip(ys, ys[1:]))
+
+
+def test_fig6_and_fig7_share_sweep():
+    sweep = figures.pause_sweep_runs(
+        1.0, SCALE, seed=3, pauses=[0.0, 30.0]
+    )
+    fig6 = figures.fig6(runs=sweep)
+    fig7 = figures.fig7(runs=sweep)
+    for fig in (fig6, fig7):
+        for label, series in fig.series.items():
+            assert [x for x, _ in series] == [0.0, 30.0]
+    for label, series in fig7.series.items():
+        for _, rate in series:
+            assert 0.0 <= rate <= 100.0
+
+
+def test_fig8_density_labels():
+    fig = figures.fig8(
+        speed=1.0, scale=SCALE, seed=3, densities=(50, 100),
+        protocols=("grid", "ecgrid"),
+    )
+    assert len(fig.series) == 4
+    assert any("grid-n" in label for label in fig.series)
+
+
+def test_ablation_hello():
+    fig = figures.ablation_hello(periods=(2.0, 8.0), scale=SCALE, seed=3)
+    assert len(fig.series["aen_end"]) == 2
+    hello_counts = dict(fig.series["hello_sent"])
+    # Faster HELLO cadence sends more beacons.
+    assert hello_counts[2.0] > hello_counts[8.0]
+
+
+def test_ablation_loadbalance():
+    fig = figures.ablation_loadbalance(scale=SCALE, seed=3)
+    assert dict(fig.series["first_death_s"]).keys() == {0.0, 1.0}
+
+
+def test_ablation_gridsize():
+    fig = figures.ablation_gridsize(sides=(80.0, 100.0), scale=SCALE, seed=3)
+    assert len(fig.series["alive_end"]) == 2

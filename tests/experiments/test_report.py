@@ -1,0 +1,53 @@
+"""Text rendering of figure data."""
+
+from repro.experiments.report import (
+    format_series_table,
+    format_summary_table,
+    sparkline,
+)
+
+
+def test_series_table_aligns_on_union_of_x():
+    text = format_series_table(
+        "Fig X",
+        "t",
+        {
+            "a": [(0.0, 1.0), (10.0, 0.5)],
+            "b": [(0.0, 0.9), (20.0, 0.1)],
+        },
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Fig X"
+    assert "t" in lines[1] and "a" in lines[1] and "b" in lines[1]
+    # Union of x: 0, 10, 20 -> three data rows.
+    assert len(lines) == 2 + 1 + 3
+    assert "-" in lines[-2] or "-" in lines[-1]  # missing cell marker
+
+
+def test_summary_table():
+    text = format_summary_table(
+        "Summary",
+        [
+            {"proto": "grid", "delivery": 0.99},
+            {"proto": "ecgrid", "delivery": 0.987},
+        ],
+    )
+    assert "grid" in text
+    assert "0.990" in text
+
+
+def test_summary_table_empty():
+    assert "(no data)" in format_summary_table("T", [])
+
+
+def test_sparkline_shape():
+    s = sparkline([0.0, 0.5, 1.0])
+    assert len(s) == 3
+    assert s[0] == " "
+    assert s[-1] == "@"
+    assert sparkline([]) == ""
+
+
+def test_sparkline_constant_series():
+    s = sparkline([2.0, 2.0, 2.0])
+    assert len(s) == 3

@@ -1,0 +1,46 @@
+"""ASCII network snapshots."""
+
+from repro.experiments.snapshot import render, role_census
+
+from tests.helpers import make_static_network
+
+
+def test_render_shows_roles_after_election():
+    net = make_static_network([(30, 30), (50, 50), (70, 70), (950, 950)])
+    net.run(until=10.0)
+    text = render(net)
+    assert "t=10.0s" in text
+    assert "alive=100%" in text
+    # Cell (0,0) holds 3 hosts -> a count digit; cell (9,9) a lone G.
+    assert "3" in text
+    assert "G" in text
+
+
+def test_role_census():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    census = role_census(net)
+    assert census.get("G") == 1
+    assert census.get("z") == 2
+
+
+def test_render_marks_dead_hosts():
+    net = make_static_network([(50, 50), (250, 250)], energy_j=5.0)
+    net.run(until=30.0)
+    text = render(net)
+    assert "x" in text
+    assert "alive=0%" in text
+
+
+def test_render_marks_endpoints():
+    net = make_static_network([(50, 50), (250, 250), (450, 450)],
+                              protocol="gaf", n_endpoints=1)
+    net.run(until=3.0)
+    assert "E" in render(net)
+
+
+def test_render_without_legend():
+    net = make_static_network([(50, 50)])
+    net.run(until=5.0)
+    assert "legend" not in render(net, legend=False).lower()
+    assert "gateway" not in render(net, legend=False)

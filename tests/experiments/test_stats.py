@@ -1,0 +1,92 @@
+"""Seed replication and series statistics."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FigureData
+from repro.experiments.stats import (
+    average_figures,
+    mean_series,
+    replicate_figure,
+    run_replicates,
+    stderr_series,
+    summarize_scalars,
+)
+
+TINY = dict(
+    n_hosts=8, width_m=300.0, height_m=300.0, n_flows=2,
+    sim_time_s=20.0, initial_energy_j=60.0,
+)
+
+
+def test_mean_series_on_shared_grid():
+    a = [(0.0, 1.0), (10.0, 0.5)]
+    b = [(0.0, 0.0), (10.0, 1.5)]
+    assert mean_series([a, b]) == [(0.0, 0.5), (10.0, 1.0)]
+
+
+def test_mean_series_intersects_x():
+    a = [(0.0, 1.0), (10.0, 0.5), (20.0, 0.1)]
+    b = [(0.0, 0.0), (10.0, 1.5)]
+    assert [x for x, _ in mean_series([a, b])] == [0.0, 10.0]
+
+
+def test_mean_series_empty():
+    assert mean_series([]) == []
+
+
+def test_stderr_series():
+    a = [(0.0, 1.0)]
+    b = [(0.0, 3.0)]
+    (x, se), = stderr_series([a, b])
+    assert x == 0.0
+    assert se == pytest.approx(1.0)  # sd=sqrt(2), se=sd/sqrt(2)=1
+
+
+def test_stderr_single_replicate_is_zero():
+    assert stderr_series([[(0.0, 5.0)]]) == [(0.0, 0.0)]
+
+
+def test_run_replicates_vary_with_seed():
+    cfg = ExperimentConfig(protocol="grid", **TINY)
+    results = run_replicates(cfg, seeds=[1, 2])
+    assert len(results) == 2
+    assert results[0].config.seed == 1
+    assert results[1].config.seed == 2
+    assert results[0].events_executed != results[1].events_executed
+
+
+def test_summarize_scalars():
+    cfg = ExperimentConfig(protocol="grid", **TINY)
+    results = run_replicates(cfg, seeds=[1, 2, 3])
+    summary = summarize_scalars(results)
+    mean, sd = summary["delivery_rate"]
+    assert 0.0 <= mean <= 1.0
+    assert sd >= 0.0
+    assert set(summary) >= {"aen_end", "alive_end", "first_death_s"}
+
+
+def make_fig(v):
+    return FigureData("f", "T", "x", "y", {"a": [(0.0, v), (1.0, v)]})
+
+
+def test_average_figures():
+    merged = average_figures([make_fig(1.0), make_fig(3.0)])
+    assert merged.series["a"] == [(0.0, 2.0), (1.0, 2.0)]
+    assert "mean of 2 seeds" in merged.title
+
+
+def test_average_figures_rejects_mismatched():
+    other = FigureData("g", "T", "x", "y", {"a": [(0.0, 1.0)]})
+    with pytest.raises(ValueError):
+        average_figures([make_fig(1.0), other])
+    with pytest.raises(ValueError):
+        average_figures([])
+
+
+def test_replicate_figure_end_to_end():
+    from repro.experiments import figures
+    fig = replicate_figure(figures.fig4, seeds=[3, 4], speed=1.0, scale=0.08)
+    assert set(fig.series) == {"grid", "ecgrid", "gaf"}
+    for s in fig.series.values():
+        assert s[0][1] == 1.0

@@ -1,0 +1,50 @@
+"""InvariantChecker unit behaviour (integration runs live elsewhere)."""
+
+from repro.core.base import Role
+from repro.experiments.validate import InvariantChecker
+
+from tests.helpers import make_static_network
+
+
+def test_clean_steady_state_has_no_violations():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    checker = InvariantChecker(net, interval_s=2.0)
+    net.run(until=30.0)
+    assert checker.report.samples >= 10
+    assert checker.report.ok()
+    kinds = {v.kind for v in checker.report.violations}
+    assert "sleeping-gateway" not in kinds
+    assert "dead-with-role" not in kinds
+
+
+def test_detects_artificial_duplicate_gateways():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)])
+    net.run(until=10.0)
+    checker = InvariantChecker(net, interval_s=1.0)
+    # Force an inconsistent state: promote a sleeper by hand.
+    rogue = net.nodes[0]
+    rogue.wake_up()
+    rogue.protocol.role = Role.GATEWAY
+    checker.sample()
+    checker.sample()
+    assert not checker.report.ok()
+    assert any(v.kind == "duplicate-gateways"
+               for v in checker.report.violations)
+
+
+def test_detects_sleeping_gateway():
+    net = make_static_network([(50, 50)])
+    net.run(until=6.0)
+    checker = InvariantChecker(net, interval_s=1.0)
+    net.nodes[0].go_to_sleep()          # gateway role kept: invalid
+    checker.sample()
+    assert any(v.kind == "sleeping-gateway"
+               for v in checker.report.violations)
+
+
+def test_non_grid_protocols_are_skipped():
+    net = make_static_network([(50, 50), (150, 50)], protocol="flooding")
+    checker = InvariantChecker(net, interval_s=1.0)
+    net.run(until=5.0)
+    assert checker.report.ok()
+    assert checker.report.violations == []

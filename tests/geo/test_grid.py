@@ -1,0 +1,123 @@
+"""GridMap: cell mapping, centers, neighborhoods, constraints."""
+
+import math
+
+import pytest
+
+from repro.geo.grid import GridMap, max_grid_side
+from repro.geo.vector import Vec2
+
+
+@pytest.fixture
+def grid():
+    return GridMap(1000.0, 1000.0, 100.0)
+
+
+def test_paper_grid_dimensions(grid):
+    assert grid.cols == 10
+    assert grid.rows == 10
+    assert grid.cell_count == 100
+
+
+def test_cell_of_interior_points(grid):
+    assert grid.cell_of(Vec2(50.0, 50.0)) == (0, 0)
+    assert grid.cell_of(Vec2(150.0, 250.0)) == (1, 2)
+    assert grid.cell_of(Vec2(999.0, 999.0)) == (9, 9)
+
+
+def test_cell_of_clamps_top_right_edges(grid):
+    # Points exactly on the far boundary belong to the last cell.
+    assert grid.cell_of(Vec2(1000.0, 1000.0)) == (9, 9)
+    assert grid.cell_of(Vec2(1000.0, 0.0)) == (9, 0)
+
+
+def test_cell_of_clamps_negative_rounding(grid):
+    assert grid.cell_of(Vec2(-0.0001, 5.0)) == (0, 0)
+
+
+def test_center_of(grid):
+    assert grid.center_of((0, 0)) == Vec2(50.0, 50.0)
+    assert grid.center_of((3, 7)) == Vec2(350.0, 750.0)
+
+
+def test_center_is_inside_its_cell(grid):
+    for cell in grid.all_cells():
+        assert grid.cell_of(grid.center_of(cell)) == cell
+
+
+def test_cell_bounds(grid):
+    assert grid.cell_bounds((2, 3)) == (200.0, 300.0, 300.0, 400.0)
+
+
+def test_dist_to_center(grid):
+    assert grid.dist_to_center(Vec2(50.0, 50.0)) == 0.0
+    assert grid.dist_to_center(Vec2(60.0, 50.0)) == pytest.approx(10.0)
+
+
+def test_neighbors8_interior(grid):
+    nbs = grid.neighbors8((5, 5))
+    assert len(nbs) == 8
+    assert (5, 5) not in nbs
+    assert (4, 4) in nbs and (6, 6) in nbs
+
+
+def test_neighbors8_corner(grid):
+    nbs = grid.neighbors8((0, 0))
+    assert sorted(nbs) == [(0, 1), (1, 0), (1, 1)]
+
+
+def test_cells_within_ring(grid):
+    cells = list(grid.cells_within((5, 5), 2))
+    assert len(cells) == 25
+    cells0 = list(grid.cells_within((0, 0), 1))
+    assert len(cells0) == 4  # clipped at the corner
+
+
+def test_grid_distance(grid):
+    assert grid.grid_distance((0, 0), (0, 0)) == 0
+    assert grid.grid_distance((0, 0), (1, 1)) == 1
+    assert grid.grid_distance((2, 3), (7, 5)) == 5
+
+
+def test_contains_cell(grid):
+    assert grid.contains_cell((0, 0))
+    assert grid.contains_cell((9, 9))
+    assert not grid.contains_cell((10, 0))
+    assert not grid.contains_cell((0, -1))
+
+
+def test_non_divisible_area_rounds_up():
+    g = GridMap(250.0, 130.0, 100.0)
+    assert g.cols == 3
+    assert g.rows == 2
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        GridMap(0.0, 100.0, 10.0)
+    with pytest.raises(ValueError):
+        GridMap(100.0, 100.0, 0.0)
+
+
+def test_max_grid_side_constraint():
+    """d <= sqrt(2) r / 3 guarantees a center-positioned gateway reaches
+    every point of all 8 neighbors (paper §2)."""
+    r = 250.0
+    d = max_grid_side(r)
+    assert d == pytest.approx(math.sqrt(2) * 250.0 / 3.0)
+    # Worst case: far corner of a diagonal neighbor.
+    worst = 1.5 * d * math.sqrt(2)
+    assert worst <= r + 1e-9
+    # The paper's d = 100 m satisfies it.
+    assert 100.0 <= d
+
+
+def test_worst_case_reachability_at_paper_scale(grid):
+    """Gateway at a cell center reaches every point of all 8 neighbors
+    with the paper's r = 250 m."""
+    center = grid.center_of((5, 5))
+    r = 250.0
+    for nb in grid.neighbors8((5, 5)):
+        x0, y0, x1, y1 = grid.cell_bounds(nb)
+        for corner in (Vec2(x0, y0), Vec2(x0, y1), Vec2(x1, y0), Vec2(x1, y1)):
+            assert center.dist(corner) <= r

@@ -1,0 +1,50 @@
+"""Search regions for confined RREQ flooding."""
+
+from repro.geo.grid import GridMap
+from repro.geo.region import Rect, bounding_region, whole_map_region
+
+
+def test_bounding_region_covers_both_cells():
+    r = bounding_region((1, 1), (5, 3))
+    assert r == Rect(1, 1, 5, 3)
+    assert r.contains((1, 1)) and r.contains((5, 3)) and r.contains((3, 2))
+    assert not r.contains((0, 0))
+    assert not r.contains((6, 2))
+
+
+def test_bounding_region_is_order_independent():
+    assert bounding_region((5, 3), (1, 1)) == bounding_region((1, 1), (5, 3))
+
+
+def test_paper_example_search_area():
+    """S at (1,1), D at (5,3): the rectangle bounded by (1,1)..(5,3)."""
+    r = bounding_region((1, 1), (5, 3))
+    assert r.cell_count == 5 * 3
+
+
+def test_margin_expansion_and_clipping():
+    grid = GridMap(1000.0, 1000.0, 100.0)
+    r = bounding_region((0, 0), (2, 2), margin=1, grid=grid)
+    # Expansion clipped at the map edge.
+    assert r == Rect(0, 0, 3, 3)
+
+
+def test_expanded():
+    assert Rect(2, 2, 3, 3).expanded(2) == Rect(0, 0, 5, 5)
+
+
+def test_clipped():
+    grid = GridMap(500.0, 300.0, 100.0)  # 5 x 3 cells
+    assert Rect(-2, -2, 99, 99).clipped(grid) == Rect(0, 0, 4, 2)
+
+
+def test_cell_count_empty_rect():
+    assert Rect(3, 3, 2, 2).cell_count == 0
+
+
+def test_whole_map_region():
+    grid = GridMap(1000.0, 1000.0, 100.0)
+    r = whole_map_region(grid)
+    assert r == Rect(0, 0, 9, 9)
+    for cell in grid.all_cells():
+        assert r.contains(cell)

@@ -1,0 +1,45 @@
+"""Vec2 arithmetic."""
+
+import math
+
+import pytest
+
+from repro.geo.vector import Vec2, distance
+
+
+def test_add_sub_scale():
+    a = Vec2(1.0, 2.0)
+    b = Vec2(3.0, -1.0)
+    assert a + b == Vec2(4.0, 1.0)
+    assert a - b == Vec2(-2.0, 3.0)
+    assert a.scale(2.0) == Vec2(2.0, 4.0)
+
+
+def test_dot_and_norm():
+    assert Vec2(3.0, 4.0).norm() == 5.0
+    assert Vec2(1.0, 2.0).dot(Vec2(3.0, 4.0)) == 11.0
+
+
+def test_dist_and_distance_agree():
+    a, b = Vec2(0.0, 0.0), Vec2(3.0, 4.0)
+    assert a.dist(b) == 5.0
+    assert distance(a, b) == 5.0
+
+
+def test_unit():
+    u = Vec2(0.0, 5.0).unit()
+    assert u == Vec2(0.0, 1.0)
+    with pytest.raises(ZeroDivisionError):
+        Vec2(0.0, 0.0).unit()
+
+
+def test_lerp():
+    a, b = Vec2(0.0, 0.0), Vec2(10.0, 20.0)
+    assert a.lerp(b, 0.0) == a
+    assert a.lerp(b, 1.0) == b
+    assert a.lerp(b, 0.5) == Vec2(5.0, 10.0)
+
+
+def test_vec2_is_a_tuple():
+    x, y = Vec2(1.5, 2.5)
+    assert (x, y) == (1.5, 2.5)

@@ -1,0 +1,53 @@
+"""Every registered protocol survives the same end-to-end scenario."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, PROTOCOLS
+from repro.experiments.runner import run_experiment
+
+from tests.helpers import make_static_network
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_protocol_runs_and_delivers(protocol):
+    r = run_experiment(ExperimentConfig(
+        protocol=protocol,
+        n_hosts=12,
+        width_m=350.0,
+        height_m=350.0,
+        n_flows=2,
+        sim_time_s=50.0,
+        initial_energy_j=100.0,
+        seed=9,
+    ))
+    assert r.sent > 0
+    assert r.delivery_rate > 0.5, protocol
+    assert r.events_executed > 100
+    # Energy accounting is coherent everywhere.
+    assert 0.0 < r.aen.last() <= 1.0
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_protocol_deterministic(protocol):
+    cfg = ExperimentConfig(
+        protocol=protocol, n_hosts=10, width_m=320.0, height_m=320.0,
+        n_flows=2, sim_time_s=25.0, initial_energy_j=80.0, seed=5,
+    )
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.events_executed == b.events_executed
+    assert a.delivered == b.delivered
+    assert a.aen.values == b.aen.values
+
+
+@pytest.mark.parametrize("protocol", ["ecgrid", "grid", "gaf", "aodv", "span"])
+def test_crash_api_kills_node(protocol):
+    net = make_static_network([(50, 50), (150, 50)], protocol=protocol)
+    net.run(until=5.0)
+    net.nodes[0].crash()
+    assert not net.nodes[0].alive
+    assert net.nodes[0].battery.depleted
+    assert net.nodes[0].rbrc() == 0.0
+    # The simulation continues cleanly.
+    net.sim.run(until=10.0)
+    assert net.nodes[1].alive

@@ -1,0 +1,83 @@
+"""Failure injection: crashes, partitions, buffer pressure."""
+
+from repro.core.base import Role
+from repro.net.packet import DataPacket
+from repro.protocols.base import ProtocolParams
+
+from tests.helpers import make_static_network
+
+
+def test_forwarder_crash_triggers_reroute_or_rerr():
+    """Kill the first-hop gateway of an active route; the upstream
+    gateway must detect the MAC failure and repair through another
+    grid."""
+    # Chain 0..4 plus an alternate relay (node 5) in cell (2,1).
+    positions = [(50, 50), (150, 50), (250, 50), (350, 50), (450, 50),
+                 (250, 150)]
+    net = make_static_network(positions)
+    net.run(until=8.0)
+    # Warm a route 0 -> 4 (0 and 4 are 400 m apart: multi-hop).
+    p1 = DataPacket(src=0, dst=4, created_at=net.sim.now)
+    net.packet_log.on_sent(p1)
+    net.nodes[0].send_data(p1)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p1.uid in net.packet_log.delivered_at
+
+    # Crash whichever gateway node 0's route actually uses.
+    entry = net.nodes[0].protocol.routing.lookup(4, net.sim.now)
+    assert entry is not None
+    victim_id = net.nodes[0].protocol._gateway_of(entry.next_cell)
+    assert victim_id not in (None, 0, 4)
+    net.nodes_by_id[victim_id]._on_depleted()
+
+    p2 = DataPacket(src=0, dst=4, created_at=net.sim.now)
+    net.packet_log.on_sent(p2)
+    net.nodes[0].send_data(p2)
+    net.sim.run(until=net.sim.now + 10.0)
+    assert p2.uid in net.packet_log.delivered_at
+    assert net.counters.get("forward_failures", 0) >= 1
+
+
+def test_unreachable_destination_drops_after_retries():
+    net = make_static_network([(50, 50), (150, 50), (950, 950)])
+    net.run(until=8.0)
+    p = DataPacket(src=0, dst=2, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 10.0)
+    assert p.uid not in net.packet_log.delivered_at
+    assert net.counters.get("discovery_failures", 0) >= 1
+    assert net.counters.get("data_dropped_no_route", 0) >= 1
+
+
+def test_buffer_limit_enforced_during_discovery():
+    params = ProtocolParams(buffer_limit=5)
+    net = make_static_network([(50, 50), (950, 950)], params=params)
+    net.run(until=8.0)
+    for _ in range(20):
+        p = DataPacket(src=0, dst=1, created_at=net.sim.now)
+        net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 5.0)
+    assert net.counters.get("buffer_drops", 0) >= 1
+
+
+def test_whole_grid_death_does_not_crash_simulation():
+    net = make_static_network(
+        [(50, 50), (60, 60), (150, 50)], energy_j=15.0
+    )
+    net.run(until=120.0)
+    assert net.alive_fraction() == 0.0
+    # The simulator drained cleanly: no stuck events re-firing.
+    assert net.sim.now == 120.0
+
+
+def test_dead_gateway_neighbors_expire_from_tables():
+    net = make_static_network([(50, 50), (150, 50), (250, 50)])
+    net.run(until=8.0)
+    # Every gateway knows its neighbors.
+    p1 = net.nodes[1].protocol
+    assert (0, 0) in p1.neighbor_gateways
+    net.nodes[0]._on_depleted()
+    # After the freshness horizon the stale entry is purged on access.
+    net.sim.run(until=net.sim.now + 12.0)
+    assert p1._gateway_of((0, 0)) is None

@@ -1,0 +1,42 @@
+"""Runtime invariant checking on live scenarios."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_network
+from repro.experiments.validate import InvariantChecker
+
+
+def run_with_checker(protocol, seed=3, sim_time=120.0, speed=1.0):
+    cfg = ExperimentConfig(
+        protocol=protocol, n_hosts=16, width_m=400.0, height_m=400.0,
+        n_flows=3, sim_time_s=sim_time, initial_energy_j=150.0,
+        max_speed_mps=speed, seed=seed,
+    )
+    net = build_network(cfg)
+    checker = InvariantChecker(net, interval_s=5.0)
+    net.run(until=sim_time)
+    return checker.report
+
+
+def test_ecgrid_no_persistent_duplicate_gateways():
+    report = run_with_checker("ecgrid")
+    assert report.samples > 10
+    assert report.ok(), report.persistent_duplicate_cells
+
+
+def test_ecgrid_no_persistent_duplicates_under_high_mobility():
+    report = run_with_checker("ecgrid", speed=10.0, sim_time=80.0)
+    assert report.ok(), report.persistent_duplicate_cells
+
+
+def test_grid_no_persistent_duplicate_gateways():
+    report = run_with_checker("grid")
+    assert report.ok(), report.persistent_duplicate_cells
+
+
+def test_role_state_machine_invariants_hold():
+    """No dead-with-role, no sleeping gateway, ever."""
+    report = run_with_checker("ecgrid", sim_time=200.0)
+    bad = [v for v in report.violations
+           if v.kind in ("dead-with-role", "sleeping-gateway",
+                         "self-gateway-asleep")]
+    assert bad == []

@@ -1,0 +1,70 @@
+"""MAC edge cases: contention-window growth, hidden terminals, pause."""
+
+import pytest
+
+from repro.mac.csma import MacConfig
+
+from tests.mac.test_csma import build
+
+
+def test_contention_window_doubles_on_retry():
+    cfg = MacConfig(retry_limit=4, cw_min=16, cw_max=64)
+    sim, medium, (a, b), _ = build([(100, 100), (900, 900)], cfg)
+    a.send("x", 1, wire_bytes=64)
+    job = a._current or a._queue[0]
+    sim.run(until=3.0)
+    # After exhausting retries the window saturated at cw_max.
+    assert job.cw == 64
+
+
+def test_hidden_terminal_resolved_by_retries():
+    """a and b cannot hear each other but both unicast to c: collisions
+    happen, ACK-driven retries eventually deliver both."""
+    sim, medium, macs, inboxes = build(
+        [(100, 100), (580, 100), (340, 100)]
+    )
+    a, b, c = macs
+    a.send("from-a", 2, wire_bytes=512)
+    b.send("from-b", 2, wire_bytes=512)
+    sim.run(until=3.0)
+    assert sorted(m for m, _ in inboxes[2]) == ["from-a", "from-b"]
+
+
+def test_backoff_defers_to_busy_channel():
+    sim, medium, (a, b, c), inboxes = build(
+        [(100, 100), (200, 100), (300, 100)]
+    )
+    # a blasts a long frame; b senses and defers its own send.
+    medium.transmit(a.radio, "long", 5000)
+    b.send("after", 2, wire_bytes=64)
+    sim.run(until=2.0)
+    assert ("after", 1) in inboxes[2]
+    # b's frame went out after a's airtime ended (no collision loss).
+    assert medium.stats.frames_corrupted == 0
+
+
+def test_queue_survives_sleep_wake_cycles():
+    sim, medium, (a, b), (_, inbox_b) = build([(100, 100), (200, 100)])
+    for i in range(3):
+        a.send(f"m{i}", 1, wire_bytes=64)
+    a.radio.sleep()
+    sim.run(until=1.0)
+    a.radio.wake()
+    a.kick()
+    sim.run(until=3.0)
+    assert [m for m, _ in inbox_b] == ["m0", "m1", "m2"]
+
+
+def test_ack_not_sent_while_asleep():
+    sim, medium, (a, b), _ = build([(100, 100), (200, 100)])
+    # b's upper layer puts the radio to sleep the instant a frame is
+    # delivered — before the SIFS-delayed ACK fires, which must then
+    # be suppressed (a dozing radio cannot transmit).
+    b.receive_handler = lambda _m, _s: b.radio.sleep()
+    fails = []
+    a.send("x", 1, wire_bytes=64, on_fail=lambda m, d: fails.append(m))
+    sim.run(until=3.0)
+    assert b.stats.acks_sent == 0
+    assert b.stats.delivered_up >= 1
+    # With no ACK ever coming back, the sender gives up.
+    assert fails == ["x"]

@@ -1,0 +1,118 @@
+"""PacketLog, EnergySampler, Counters."""
+
+import pytest
+
+from repro.des.core import Simulator
+from repro.metrics.collectors import Counters, EnergySampler, PacketLog
+from repro.net.packet import DataPacket
+
+from tests.helpers import make_static_network
+
+
+def test_counters_basic():
+    c = Counters()
+    c.inc("x")
+    c.inc("x", 4)
+    assert c.get("x") == 5
+    assert c["y"] == 0
+    assert c.snapshot() == {"x": 5}
+
+
+def test_packet_log_delivery_rate():
+    log = PacketLog()
+    pkts = [DataPacket(src=0, dst=1, created_at=float(i)) for i in range(4)]
+    for p in pkts:
+        log.on_sent(p)
+    log.on_delivered(pkts[0], 1.0)
+    log.on_delivered(pkts[1], 2.5)
+    assert log.sent_count == 4
+    assert log.delivered_count == 2
+    assert log.delivery_rate() == 0.5
+
+
+def test_packet_log_latency():
+    log = PacketLog()
+    p = DataPacket(src=0, dst=1, created_at=10.0)
+    log.on_sent(p)
+    log.on_delivered(p, 10.25)
+    assert log.mean_latency() == pytest.approx(0.25)
+
+
+def test_duplicates_counted_once():
+    log = PacketLog()
+    p = DataPacket(src=0, dst=1, created_at=0.0)
+    log.on_sent(p)
+    log.on_delivered(p, 1.0)
+    log.on_delivered(p, 2.0)
+    assert log.delivered_count == 1
+    assert log.duplicates == 1
+    assert log.mean_latency() == pytest.approx(1.0)
+
+
+def test_latency_percentile():
+    log = PacketLog()
+    for i in range(100):
+        p = DataPacket(src=0, dst=1, created_at=0.0)
+        log.on_sent(p)
+        log.on_delivered(p, (i + 1) / 100.0)
+    assert log.latency_percentile(0.95) == pytest.approx(0.95)
+    assert log.latency_percentile(0.5) == pytest.approx(0.5)
+
+
+def test_hop_accounting():
+    log = PacketLog()
+    p = DataPacket(src=0, dst=1, created_at=0.0)
+    p.hops = 3
+    log.on_sent(p)
+    log.on_delivered(p, 1.0)
+    assert log.mean_hops() == 3.0
+
+
+def test_empty_log_defaults():
+    log = PacketLog()
+    assert log.delivery_rate() == 1.0
+    assert log.mean_latency() == 0.0
+    assert log.latency_percentile(0.9) == 0.0
+    assert log.mean_hops() == 0.0
+
+
+def test_energy_sampler_series():
+    net = make_static_network([(50, 50), (250, 50)], protocol="grid",
+                              energy_j=20.0)
+    net.run(until=40.0)
+    s = net.sampler
+    assert s.alive_fraction.at(0.0) == 1.0
+    # Hosts die at ~23 s (20 J / 0.863 W).
+    assert s.alive_fraction.last() == 0.0
+    assert s.aen.at(0.0) == 0.0
+    assert s.aen.last() == pytest.approx(1.0, abs=1e-6)
+    assert s.first_death_time == pytest.approx(20.0 / 0.863, abs=0.5)
+
+
+def test_energy_sampler_ignores_infinite_nodes():
+    sim = Simulator()
+
+    class FakeBattery:
+        infinite = True
+
+    class FakeNode:
+        battery = FakeBattery()
+        alive = True
+
+    s = EnergySampler(sim, [FakeNode()], interval_s=1.0)
+    s.sample()
+    assert len(s.alive_fraction) == 0  # nothing to sample
+
+
+def test_delivery_rate_until_cutoff():
+    log = PacketLog()
+    early = DataPacket(src=0, dst=1, created_at=1.0)
+    late = DataPacket(src=0, dst=1, created_at=100.0)
+    log.on_sent(early)
+    log.on_sent(late)
+    log.on_delivered(early, 1.5)
+    # Overall 50%, but pre-cutoff traffic delivered fully.
+    assert log.delivery_rate() == 0.5
+    assert log.delivery_rate_until(50.0) == 1.0
+    assert log.delivery_rate_until(200.0) == 0.5
+    assert log.delivery_rate_until(0.5) == 1.0  # nothing issued yet

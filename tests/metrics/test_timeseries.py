@@ -1,0 +1,67 @@
+"""TimeSeries reductions."""
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries
+
+
+def filled():
+    ts = TimeSeries("x")
+    for t, v in [(0.0, 1.0), (10.0, 0.8), (20.0, 0.5), (30.0, 0.0)]:
+        ts.append(t, v)
+    return ts
+
+
+def test_append_and_iterate():
+    ts = filled()
+    assert len(ts) == 4
+    assert list(ts)[0] == (0.0, 1.0)
+
+
+def test_append_rejects_time_regression():
+    ts = filled()
+    with pytest.raises(ValueError):
+        ts.append(5.0, 1.0)
+
+
+def test_at_is_stepwise_hold():
+    ts = filled()
+    assert ts.at(0.0) == 1.0
+    assert ts.at(9.9) == 1.0
+    assert ts.at(10.0) == 0.8
+    assert ts.at(25.0) == 0.5
+    assert ts.at(1e9) == 0.0
+
+
+def test_at_before_first_sample_raises():
+    ts = filled()
+    with pytest.raises(ValueError):
+        ts.at(-1.0)
+
+
+def test_empty_series_raises():
+    ts = TimeSeries()
+    with pytest.raises(ValueError):
+        ts.at(0.0)
+    with pytest.raises(ValueError):
+        ts.last()
+    with pytest.raises(ValueError):
+        ts.mean()
+
+
+def test_first_time_below():
+    ts = filled()
+    assert ts.first_time_below(1.0) == 10.0
+    assert ts.first_time_below(0.6) == 20.0
+    assert ts.first_time_below(0.0001) == 30.0
+    assert ts.first_time_below(-1.0) is None
+
+
+def test_last_and_mean():
+    ts = filled()
+    assert ts.last() == 0.0
+    assert ts.mean() == pytest.approx((1.0 + 0.8 + 0.5 + 0.0) / 4)
+
+
+def test_rows():
+    assert filled().rows()[-1] == (30.0, 0.0)

@@ -1,0 +1,113 @@
+"""Trajectory segments and the analytic cell-crossing solver."""
+
+import math
+
+import pytest
+
+from repro.geo.grid import GridMap
+from repro.geo.vector import Vec2
+from repro.mobility.base import Segment, next_cell_crossing
+from repro.mobility.trace import TraceMobility
+
+
+@pytest.fixture
+def grid():
+    return GridMap(1000.0, 1000.0, 100.0)
+
+
+def test_segment_position_interpolates():
+    seg = Segment(0.0, 10.0, Vec2(0.0, 0.0), Vec2(1.0, 2.0))
+    assert seg.position(0.0) == Vec2(0.0, 0.0)
+    assert seg.position(5.0) == Vec2(5.0, 10.0)
+
+
+def test_segment_is_pause():
+    assert Segment(0, 1, Vec2(0, 0), Vec2(0, 0)).is_pause
+    assert not Segment(0, 1, Vec2(0, 0), Vec2(1, 0)).is_pause
+
+
+def straight(p0, v, until=math.inf):
+    """A trajectory moving at constant v from p0 starting at t=0."""
+    far = p0 + v.scale(1e6)
+    return TraceMobility([(0.0, p0), (1e6, far)])
+
+
+def test_crossing_positive_x(grid):
+    m = straight(Vec2(50.0, 50.0), Vec2(10.0, 0.0))
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert t == pytest.approx(5.0, abs=1e-6)
+    assert cell == (1, 0)
+
+
+def test_crossing_negative_x(grid):
+    m = straight(Vec2(150.0, 50.0), Vec2(-10.0, 0.0))
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert t == pytest.approx(5.0, abs=1e-6)
+    assert cell == (0, 0)
+
+
+def test_crossing_diagonal(grid):
+    m = straight(Vec2(95.0, 95.0), Vec2(10.0, 5.0))
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    # x reaches 100 at t=0.5 before y reaches 100 at t=1.0
+    assert t == pytest.approx(0.5, abs=1e-6)
+    assert cell == (1, 0)
+
+
+def test_crossing_time_strictly_advances(grid):
+    """Repeatedly chaining crossings must make progress — the exact
+    regression that once produced an infinite zero-delay loop for
+    negative travel directions."""
+    m = straight(Vec2(950.0, 50.0), Vec2(-25.0, 0.0))
+    t = 0.0
+    cells = []
+    for _ in range(9):
+        nxt = next_cell_crossing(m, t, grid)
+        assert nxt is not None
+        t_new, cell = nxt
+        assert t_new > t
+        cells.append(cell)
+        t = t_new
+    assert cells == [(i, 0) for i in range(8, -1, -1)]
+
+
+def test_no_crossing_for_stationary(grid):
+    m = TraceMobility([(0.0, Vec2(50.0, 50.0))])
+    assert next_cell_crossing(m, 0.0, grid) is None
+
+
+def test_no_crossing_within_horizon(grid):
+    m = straight(Vec2(50.0, 50.0), Vec2(1.0, 0.0))
+    # Crossing at t=50; horizon 10 sees nothing.
+    assert next_cell_crossing(m, 0.0, grid, horizon=10.0) is None
+    assert next_cell_crossing(m, 0.0, grid, horizon=100.0) is not None
+
+
+def test_crossing_searches_across_segments(grid):
+    # First segment paused inside a cell, second segment moves out.
+    m = TraceMobility([
+        (0.0, Vec2(50.0, 50.0)),
+        (10.0, Vec2(50.0, 50.0001)),   # ~pause
+        (20.0, Vec2(250.0, 50.0)),     # movement crosses x=100 and x=200
+    ])
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert 10.0 < t < 20.0
+    assert cell == (1, 0)
+
+
+def test_query_before_start_raises():
+    m = TraceMobility([(5.0, Vec2(0.0, 0.0))])
+    with pytest.raises(ValueError):
+        m.position(1.0)
+
+
+def test_position_monotone_queries_then_rewind():
+    m = TraceMobility([
+        (0.0, Vec2(0.0, 0.0)),
+        (10.0, Vec2(10.0, 0.0)),
+        (20.0, Vec2(10.0, 10.0)),
+    ])
+    assert m.position(5.0) == Vec2(5.0, 0.0)
+    assert m.position(15.0) == Vec2(10.0, 5.0)
+    # Rewind: cursor must recover.
+    assert m.position(5.0) == Vec2(5.0, 0.0)

@@ -1,0 +1,84 @@
+"""Random-direction mobility."""
+
+import random
+
+import pytest
+
+from repro.geo.vector import Vec2
+from repro.mobility.direction import RandomDirection
+
+
+def make(seed=1, **kw):
+    defaults = dict(width=800.0, height=600.0, min_speed=1.0,
+                    max_speed=5.0, pause_time=2.0)
+    defaults.update(kw)
+    return RandomDirection(random.Random(seed), **defaults)
+
+
+def test_stays_in_bounds():
+    m = make()
+    for t in range(0, 3000, 11):
+        p = m.position(float(t))
+        assert -1e-6 <= p.x <= 800.0 + 1e-6
+        assert -1e-6 <= p.y <= 600.0 + 1e-6
+
+
+def test_legs_end_on_the_boundary():
+    m = make(pause_time=0.0)
+    t = 0.0
+    for _ in range(8):
+        seg = m.segment_at(t)
+        end = seg.position(seg.t1)
+        on_x = end.x < 1e-6 or abs(end.x - 800.0) < 1e-6
+        on_y = end.y < 1e-6 or abs(end.y - 600.0) < 1e-6
+        assert on_x or on_y
+        t = seg.t1 + 1e-6
+
+
+def test_pause_alternation():
+    m = make(pause_time=3.0)
+    seg1 = m.segment_at(0.0)
+    seg2 = m.segment_at(seg1.t1 + 1e-6)
+    assert not seg1.is_pause
+    assert seg2.is_pause
+    assert seg2.t1 - seg2.t0 == pytest.approx(3.0)
+
+
+def test_deterministic():
+    a, b = make(seed=7), make(seed=7)
+    for t in (0.0, 50.0, 500.0):
+        assert a.position(t) == b.position(t)
+
+
+def test_start_position():
+    m = make(start=Vec2(100.0, 100.0))
+    assert m.position(0.0) == Vec2(100.0, 100.0)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        make(max_speed=0.0)
+    with pytest.raises(ValueError):
+        make(min_speed=9.0, max_speed=1.0)
+    with pytest.raises(ValueError):
+        make(pause_time=-1.0)
+
+
+def test_works_in_a_network():
+    from repro.net.network import Network, NetworkConfig
+    from tests.helpers import protocol_factory
+
+    cfg = NetworkConfig(n_hosts=8, width_m=400.0, height_m=400.0,
+                        initial_energy_j=100.0, seed=3)
+
+    def mobility(net, node_id):
+        return RandomDirection(
+            net.sim.rng.stream(f"rd-{node_id}"), 400.0, 400.0,
+            min_speed=0.5, max_speed=2.0, pause_time=5.0,
+        )
+
+    net = Network(cfg, protocol_factory("ecgrid"),
+                  mobility_factory=mobility)
+    net.run(until=60.0)
+    assert net.alive_fraction() > 0.0
+    assert net.counters.get("gateway_elections") > 0

@@ -1,0 +1,58 @@
+"""Dwell-time estimation (sleep-timer heuristic, paper §3.2)."""
+
+import math
+
+import pytest
+
+from repro.geo.grid import GridMap
+from repro.geo.vector import Vec2
+from repro.mobility.dwell import estimate_dwell_time, straight_line_exit_time
+
+
+@pytest.fixture
+def grid():
+    return GridMap(1000.0, 1000.0, 100.0)
+
+
+def test_exit_time_moving_right(grid):
+    t = straight_line_exit_time(Vec2(50.0, 50.0), Vec2(10.0, 0.0), grid)
+    assert t == pytest.approx(5.0)
+
+
+def test_exit_time_moving_left(grid):
+    t = straight_line_exit_time(Vec2(30.0, 50.0), Vec2(-10.0, 0.0), grid)
+    assert t == pytest.approx(3.0)
+
+
+def test_exit_time_diagonal_takes_earliest_boundary(grid):
+    t = straight_line_exit_time(Vec2(90.0, 50.0), Vec2(10.0, 10.0), grid)
+    assert t == pytest.approx(1.0)  # x boundary first
+
+
+def test_exit_time_stationary_is_infinite(grid):
+    assert math.isinf(straight_line_exit_time(Vec2(50.0, 50.0), Vec2(0.0, 0.0), grid))
+
+
+def test_estimate_clamps_to_min(grid):
+    # About to cross: raw exit 0.1 s, clamp to min_dwell.
+    d = estimate_dwell_time(Vec2(99.0, 50.0), Vec2(10.0, 0.0), grid,
+                            min_dwell=1.0, max_dwell=60.0)
+    assert d == 1.0
+
+
+def test_estimate_clamps_to_max(grid):
+    d = estimate_dwell_time(Vec2(50.0, 50.0), Vec2(0.001, 0.0), grid,
+                            min_dwell=1.0, max_dwell=60.0)
+    assert d == 60.0
+
+
+def test_estimate_paused_host_uses_max(grid):
+    d = estimate_dwell_time(Vec2(50.0, 50.0), Vec2(0.0, 0.0), grid,
+                            min_dwell=1.0, max_dwell=45.0)
+    assert d == 45.0
+
+
+def test_estimate_midrange_passthrough(grid):
+    d = estimate_dwell_time(Vec2(50.0, 50.0), Vec2(10.0, 0.0), grid,
+                            min_dwell=1.0, max_dwell=60.0)
+    assert d == pytest.approx(5.0)

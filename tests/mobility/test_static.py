@@ -1,0 +1,19 @@
+"""StaticPosition model."""
+
+from repro.geo.grid import GridMap
+from repro.geo.vector import Vec2
+from repro.mobility.base import next_cell_crossing
+from repro.mobility.static import StaticPosition
+
+
+def test_static_never_moves():
+    m = StaticPosition(Vec2(10.0, 20.0))
+    assert m.position(0.0) == Vec2(10.0, 20.0)
+    assert m.position(1e6) == Vec2(10.0, 20.0)
+    assert m.velocity(42.0) == Vec2(0.0, 0.0)
+
+
+def test_static_never_crosses():
+    grid = GridMap(100.0, 100.0, 10.0)
+    m = StaticPosition(Vec2(5.0, 5.0))
+    assert next_cell_crossing(m, 0.0, grid) is None

@@ -1,0 +1,46 @@
+"""Trace replay and recording."""
+
+import pytest
+
+from repro.geo.vector import Vec2
+from repro.mobility.trace import TraceMobility, record_trace
+from repro.mobility.waypoint import RandomWaypoint
+import random
+
+
+def test_replay_interpolates_linearly():
+    m = TraceMobility([
+        (0.0, Vec2(0.0, 0.0)),
+        (10.0, Vec2(100.0, 0.0)),
+    ])
+    assert m.position(5.0) == Vec2(50.0, 0.0)
+    assert m.velocity(5.0) == Vec2(10.0, 0.0)
+
+
+def test_replay_holds_last_position_forever():
+    m = TraceMobility([(0.0, Vec2(1.0, 2.0)), (5.0, Vec2(3.0, 4.0))])
+    assert m.position(5.0) == Vec2(3.0, 4.0)
+    assert m.position(1e9) == Vec2(3.0, 4.0)
+
+
+def test_rejects_empty_and_unordered():
+    with pytest.raises(ValueError):
+        TraceMobility([])
+    with pytest.raises(ValueError):
+        TraceMobility([(1.0, Vec2(0, 0)), (1.0, Vec2(1, 1))])
+    with pytest.raises(ValueError):
+        TraceMobility([(2.0, Vec2(0, 0)), (1.0, Vec2(1, 1))])
+
+
+def test_record_trace_matches_source_at_samples():
+    src = RandomWaypoint(random.Random(5), 500.0, 500.0, 0.0, 5.0, 2.0)
+    points = record_trace(src, 0.0, 100.0, 1.0)
+    replay = TraceMobility(points)
+    for t in range(0, 101, 5):
+        assert replay.position(float(t)).dist(src.position(float(t))) < 1e-9
+
+
+def test_record_trace_rejects_bad_step():
+    src = TraceMobility([(0.0, Vec2(0, 0))])
+    with pytest.raises(ValueError):
+        record_trace(src, 0.0, 10.0, 0.0)

@@ -1,0 +1,96 @@
+"""Random waypoint model."""
+
+import random
+
+import pytest
+
+from repro.geo.vector import Vec2
+from repro.mobility.waypoint import RandomWaypoint
+
+
+def make(seed=1, **kw):
+    defaults = dict(width=1000.0, height=1000.0, min_speed=0.0,
+                    max_speed=10.0, pause_time=5.0)
+    defaults.update(kw)
+    return RandomWaypoint(random.Random(seed), **defaults)
+
+
+def test_stays_in_bounds_over_long_horizon():
+    m = make()
+    for t in range(0, 5000, 13):
+        p = m.position(float(t))
+        assert 0.0 <= p.x <= 1000.0
+        assert 0.0 <= p.y <= 1000.0
+
+
+def test_speed_respects_bounds():
+    m = make(min_speed=2.0, max_speed=4.0, pause_time=0.0)
+    for t in range(0, 2000, 7):
+        v = m.velocity(float(t)).norm()
+        # Either paused at a degenerate instant or within bounds.
+        if v > 0:
+            assert 2.0 - 1e-9 <= v <= 4.0 + 1e-9
+
+
+def test_pause_segments_alternate_with_moves():
+    m = make(pause_time=5.0)
+    segs = [m.segment_at(0.0)]
+    t = segs[-1].t1 + 1e-6
+    for _ in range(9):
+        segs.append(m.segment_at(t))
+        t = segs[-1].t1 + 1e-6
+    kinds = [s.is_pause for s in segs]
+    # Strictly alternating move/pause.
+    for a, b in zip(kinds, kinds[1:]):
+        assert a != b
+
+
+def test_zero_pause_time_never_pauses():
+    m = make(pause_time=0.0)
+    t = 0.0
+    for _ in range(10):
+        seg = m.segment_at(t)
+        assert not seg.is_pause
+        t = seg.t1 + 1e-6
+
+
+def test_deterministic_given_rng_seed():
+    a, b = make(seed=3), make(seed=3)
+    for t in (0.0, 10.0, 100.0, 500.0):
+        assert a.position(t) == b.position(t)
+
+
+def test_different_seeds_diverge():
+    a, b = make(seed=3), make(seed=4)
+    assert any(a.position(t) != b.position(t) for t in (10.0, 50.0, 100.0))
+
+
+def test_start_position_respected():
+    m = make(start=Vec2(123.0, 456.0))
+    assert m.position(0.0) == Vec2(123.0, 456.0)
+
+
+def test_speed_floor_prevents_stalls():
+    m = make(min_speed=0.0, max_speed=0.001, pause_time=0.0)
+    seg = m.segment_at(0.0)
+    assert seg.v.norm() >= 1e-3 - 1e-12
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        make(max_speed=0.0)
+    with pytest.raises(ValueError):
+        make(min_speed=5.0, max_speed=1.0)
+    with pytest.raises(ValueError):
+        make(pause_time=-1.0)
+
+
+def test_continuity_across_segments():
+    m = make(pause_time=2.0)
+    seg = m.segment_at(0.0)
+    for _ in range(8):
+        end = seg.t1
+        p_before = seg.position(end)
+        seg = m.segment_at(end + 1e-9)
+        p_after = seg.position(end + 1e-9)
+        assert p_before.dist(p_after) < 1e-3

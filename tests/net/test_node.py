@@ -1,0 +1,122 @@
+"""Node wiring: crossings, death, power state, protocol callbacks."""
+
+import pytest
+
+from repro.energy.profile import EnergyLevel
+from repro.geo.vector import Vec2
+from repro.net.packet import DataPacket
+from repro.protocols.base import RoutingProtocol
+
+from tests.helpers import make_static_network
+
+
+class RecordingProtocol(RoutingProtocol):
+    """Captures every callback for assertions."""
+
+    def __init__(self, node, params):
+        super().__init__(node, params)
+        self.events = []
+
+    def start(self):
+        self.events.append(("start", self.node.sim.now))
+
+    def send_data(self, packet):
+        self.events.append(("send", packet.uid))
+
+    def on_message(self, message, sender_id):
+        self.events.append(("msg", message, sender_id))
+
+    def on_cell_changed(self, old, new):
+        self.events.append(("cell", old, new))
+
+    def on_paged(self, broadcast):
+        self.events.append(("paged", broadcast))
+
+    def on_battery_level_change(self, old, new):
+        self.events.append(("level", old, new))
+
+    def on_death(self):
+        self.events.append(("death", self.node.sim.now))
+
+
+def recording_network(positions, energy=500.0):
+    net = make_static_network(positions, protocol="ecgrid", energy_j=energy)
+    # Swap in recording protocols.
+    for n in net.nodes:
+        n.protocol = RecordingProtocol(n, net.params)
+    return net
+
+
+def test_start_reaches_protocol():
+    net = recording_network([(50, 50)])
+    net.start()
+    assert net.nodes[0].protocol.events[0][0] == "start"
+
+
+def test_positions_and_cells():
+    net = recording_network([(150, 250)])
+    node = net.nodes[0]
+    assert node.position() == Vec2(150.0, 250.0)
+    assert node.cell() == (1, 2)
+    assert node.velocity() == Vec2(0.0, 0.0)
+
+
+def test_battery_death_tears_node_down():
+    net = recording_network([(50, 50), (60, 60)], energy=5.0)
+    net.run(until=30.0)
+    node = net.nodes[0]
+    assert not node.alive
+    assert ("death", pytest.approx(5.0 / 0.863, abs=0.5)) in [
+        e for e in node.protocol.events if e[0] == "death"
+    ]
+    # Radio is off; MAC rejects sends.
+    assert not node.radio.alive
+    assert node.mac.send("x", 1) is False
+
+
+def test_level_change_callbacks_fire():
+    # 50 J at 0.863 W: crosses 0.6 at ~23.2 s and 0.2 at ~46.3 s.
+    net = recording_network([(50, 50), (60, 60)], energy=50.0)
+    net.run(until=50.0)
+    levels = [e for e in net.nodes[0].protocol.events if e[0] == "level"]
+    assert (("level", EnergyLevel.UPPER, EnergyLevel.BOUNDARY)) in levels
+    assert (("level", EnergyLevel.BOUNDARY, EnergyLevel.LOWER)) in levels
+
+
+def test_sleep_and_wake():
+    net = recording_network([(50, 50)])
+    net.start()
+    node = net.nodes[0]
+    assert node.awake
+    node.go_to_sleep()
+    assert not node.awake
+    node.wake_up()
+    assert node.awake
+
+
+def test_dead_node_ignores_wake():
+    net = recording_network([(50, 50)], energy=1.0)
+    net.run(until=10.0)
+    node = net.nodes[0]
+    node.wake_up()
+    assert not node.alive
+    assert not node.radio.awake
+
+
+def test_send_data_routes_to_protocol():
+    net = recording_network([(50, 50)])
+    net.start()
+    node = net.nodes[0]
+    p = DataPacket(src=node.id, dst=99)
+    node.send_data(p)
+    assert ("send", p.uid) in node.protocol.events
+
+
+def test_deliver_to_app_reaches_sink():
+    net = recording_network([(50, 50)])
+    net.start()
+    node = net.nodes[0]
+    p = DataPacket(src=1, dst=node.id)
+    net.packet_log.on_sent(p)
+    node.deliver_to_app(p)
+    assert p.uid in net.packet_log.delivered_at

@@ -1,0 +1,38 @@
+"""Packet and message types."""
+
+from repro.net.packet import BROADCAST, DataPacket, LINK_OVERHEAD_BYTES, Message
+
+
+def test_message_wire_bytes_include_link_overhead():
+    m = Message()
+    assert m.wire_bytes == Message.size_bytes + LINK_OVERHEAD_BYTES
+
+
+def test_data_packet_defaults():
+    p = DataPacket(src=1, dst=2, flow_id=3, seqno=4, created_at=5.0)
+    assert p.size_bytes == 512
+    assert p.hops == 0
+    assert p.wire_bytes == 512 + LINK_OVERHEAD_BYTES
+
+
+def test_data_packet_uids_are_unique():
+    a = DataPacket(src=1, dst=2)
+    b = DataPacket(src=1, dst=2)
+    assert a.uid != b.uid
+
+
+def test_data_packet_size_override():
+    p = DataPacket(src=1, dst=2)
+    p.size_bytes = 64
+    assert p.wire_bytes == 64 + LINK_OVERHEAD_BYTES
+    # The class default is untouched.
+    assert DataPacket.size_bytes == 512
+
+
+def test_describe():
+    p = DataPacket(src=1, dst=2, seqno=7)
+    assert "1->2" in p.describe()
+
+
+def test_broadcast_constant_is_not_a_node_id():
+    assert BROADCAST == -1

@@ -1,0 +1,108 @@
+"""Property-based tests on protocol-level data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.election import Candidate, beats, elect
+from repro.core.tables import RoutingTable
+from repro.energy.profile import EnergyLevel
+from repro.protocols.gaf import _rank
+
+
+candidate_st = st.builds(
+    Candidate,
+    id=st.integers(min_value=0, max_value=1000),
+    level=st.sampled_from(list(EnergyLevel)),
+    dist=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+@given(cands=st.lists(candidate_st, min_size=1, max_size=20))
+def test_election_winner_beats_every_other_candidate(cands):
+    winner = elect(cands)
+    assert winner is not None
+    for c in cands:
+        if c is not winner:
+            assert not beats(c, winner) or c.key() == winner.key()
+
+
+@given(cands=st.lists(candidate_st, min_size=1, max_size=20),
+       aware=st.booleans())
+def test_election_is_permutation_invariant(cands, aware):
+    import random
+    shuffled = cands[:]
+    random.Random(0).shuffle(shuffled)
+    a = elect(cands, aware)
+    b = elect(shuffled, aware)
+    assert a.key(aware) == b.key(aware)
+
+
+@given(
+    winner_level=st.sampled_from(list(EnergyLevel)),
+    loser_level=st.sampled_from(list(EnergyLevel)),
+)
+def test_rule1_dominates_rules_2_and_3(winner_level, loser_level):
+    """A higher band always wins regardless of distance and id."""
+    if winner_level <= loser_level:
+        return
+    near_big_id = Candidate(999, loser_level, 0.0)
+    far_small_id = Candidate(1, winner_level, 99.0)
+    assert elect([near_big_id, far_small_id]).id == 1
+
+
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),      # dest
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            st.integers(min_value=0, max_value=100),    # seq
+            st.floats(min_value=0.0, max_value=100.0),  # time delta
+        ),
+        min_size=1, max_size=50,
+    )
+)
+def test_routing_table_never_serves_stale_seq(updates):
+    """Once a fresher sequence number is installed, an unexpired entry
+    never regresses to an older one."""
+    rt = RoutingTable()
+    now = 0.0
+    best_seq = {}
+    for dest, cell, seq, dt in updates:
+        now += dt
+        changed = rt.update(dest, cell, seq, now, lifetime=1e9)
+        if changed:
+            assert seq >= best_seq.get(dest, -1) or best_seq.get(dest) is None
+            best_seq[dest] = max(seq, best_seq.get(dest, -1))
+        entry = rt.lookup(dest, now)
+        assert entry is not None
+        assert entry.seq >= best_seq.get(dest, 0) or entry.seq == seq
+
+
+@given(
+    enat_a=st.floats(min_value=0.0, max_value=1e4),
+    enat_b=st.floats(min_value=0.0, max_value=1e4),
+    id_a=st.integers(0, 100),
+    id_b=st.integers(0, 100),
+)
+def test_gaf_rank_total_order(enat_a, enat_b, id_a, id_b):
+    ra = _rank(False, enat_a, id_a, 60.0)
+    rb = _rank(False, enat_b, id_b, 60.0)
+    # Total order: exactly one of <, ==, > holds, and active always wins.
+    assert (ra < rb) + (ra == rb) + (ra > rb) == 1
+    assert _rank(True, 0.0, 100, 60.0) > _rank(False, 1e4, 0, 60.0)
+
+
+@given(
+    x=st.floats(min_value=0.0, max_value=999.0),
+    y=st.floats(min_value=0.0, max_value=999.0),
+    vx=st.floats(min_value=-20.0, max_value=20.0),
+    vy=st.floats(min_value=-20.0, max_value=20.0),
+)
+def test_dwell_estimate_bounds(x, y, vx, vy):
+    from repro.geo.grid import GridMap
+    from repro.geo.vector import Vec2
+    from repro.mobility.dwell import estimate_dwell_time
+
+    grid = GridMap(1000.0, 1000.0, 100.0)
+    d = estimate_dwell_time(Vec2(x, y), Vec2(vx, vy), grid,
+                            min_dwell=1.0, max_dwell=60.0)
+    assert 1.0 <= d <= 60.0

@@ -1,0 +1,53 @@
+"""Flooding oracle protocol."""
+
+from repro.net.packet import DataPacket
+
+from tests.helpers import line_positions, make_static_network
+
+
+def test_delivers_across_many_hops():
+    net = make_static_network(line_positions(8, spacing=200.0),
+                              protocol="flooding", width=1700.0)
+    net.start()
+    p = DataPacket(src=0, dst=7, created_at=0.0)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=2.0)
+    assert p.uid in net.packet_log.delivered_at
+    assert p.hops >= 7
+
+
+def test_duplicate_suppression_bounds_rebroadcasts():
+    net = make_static_network([(50, 50), (70, 70), (90, 90), (120, 120)],
+                              protocol="flooding")
+    net.start()
+    p = DataPacket(src=0, dst=3, created_at=0.0)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=2.0)
+    # Each host rebroadcasts at most once: <= n-2 rebroadcasts
+    # (source originates, destination absorbs).
+    assert net.counters.get("flood_rebroadcasts") <= 2
+
+
+def test_ttl_limits_propagation():
+    # 20-hop chain but TTL 16: packet dies en route... the default TTL
+    # is 16, so an 18-hop path is unreachable.
+    net = make_static_network(line_positions(19, spacing=240.0),
+                              protocol="flooding", width=4600.0)
+    net.start()
+    p = DataPacket(src=0, dst=18, created_at=0.0)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=5.0)
+    assert p.uid not in net.packet_log.delivered_at
+    assert net.counters.get("flood_ttl_drops") >= 1
+
+
+def test_partitioned_network_cannot_deliver():
+    net = make_static_network([(50, 50), (900, 900)], protocol="flooding")
+    net.start()
+    p = DataPacket(src=0, dst=1, created_at=0.0)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=2.0)
+    assert p.uid not in net.packet_log.delivered_at

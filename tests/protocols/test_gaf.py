@@ -1,0 +1,134 @@
+"""GAF baseline: duty-cycled grid sleeping, Model-1 endpoints."""
+
+from repro.core.base import Role
+from repro.net.packet import DataPacket
+from repro.protocols.gaf import GafParams, _rank
+
+from tests.helpers import make_static_network
+
+
+def make_gaf(positions, n_endpoints=0, **kw):
+    return make_static_network(
+        positions, protocol="gaf", n_endpoints=n_endpoints, **kw
+    )
+
+
+def active_nodes(net, cell=None):
+    return [
+        n.id
+        for n in net.nodes
+        if n.alive
+        and n.protocol.role is Role.GATEWAY
+        and (cell is None or n.protocol.my_cell == cell)
+    ]
+
+
+def test_rank_prefers_active_then_enat_then_id():
+    assert _rank(True, 10.0, 5) > _rank(False, 100.0, 1)
+    assert _rank(False, 100.0, 5) > _rank(False, 10.0, 1)
+    assert _rank(False, 10.0, 1) > _rank(False, 10.0, 2)
+
+
+def test_one_active_node_per_grid_and_others_sleep():
+    net = make_gaf([(30, 30), (50, 50), (70, 70)])
+    net.run(until=5.0)
+    assert len(active_nodes(net, (0, 0))) == 1
+    sleeping = [n for n in net.nodes if n.protocol.role is Role.SLEEPING]
+    assert len(sleeping) == 2
+
+
+def test_sleepers_wake_periodically_for_discovery():
+    """Unlike ECGRID, GAF sleepers must poll: count their wakeups."""
+    net = make_gaf([(30, 30), (50, 50), (70, 70)])
+    net.run(until=60.0)
+    # With Ts = 10 s, each of the two sleepers re-enters discovery
+    # several times within a minute.
+    assert net.counters.get("gaf_discoveries") == 3  # initial entries
+    assert net.counters.get("sleeps") >= 6
+
+
+def test_active_role_rotates():
+    # Low energy makes the adaptive tenure (enat/2) short, so the
+    # active role rotates several times within the horizon.
+    net = make_gaf([(45, 50), (55, 50)], energy_j=40.0)
+    net.run(until=40.0)
+    assert net.counters.get("gaf_active_terms") >= 2
+
+
+def test_endpoints_never_sleep_and_never_take_active_role():
+    net = make_gaf([(30, 30), (50, 50), (70, 70)], n_endpoints=1)
+    # Node 2 is the endpoint (last position).
+    net.run(until=60.0)
+    endpoint = net.nodes[2]
+    assert endpoint.is_endpoint
+    assert endpoint.awake
+    assert endpoint.protocol.role is Role.ACTIVE
+    assert endpoint.battery.infinite
+
+
+def test_endpoint_to_endpoint_delivery_across_grids():
+    positions = [
+        (50, 50), (150, 50), (250, 50), (350, 50), (450, 50),  # GAF chain
+        (70, 70), (430, 30),                                   # endpoints
+    ]
+    net = make_gaf(positions, n_endpoints=2)
+    net.run(until=6.0)
+    src, dst = net.nodes[5], net.nodes[6]
+    p = DataPacket(src=src.id, dst=dst.id, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    src.send_data(p)
+    net.sim.run(until=net.sim.now + 4.0)
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_packets_to_sleeping_gaf_host_are_lost():
+    """The paper's critique (§1): GAF cannot wake a sleeping
+    destination, so such packets drop."""
+    net = make_gaf([(30, 30), (50, 50), (70, 70)])
+    net.run(until=5.0)
+    sleeper = [n for n in net.nodes if n.protocol.role is Role.SLEEPING][0]
+    active = active_nodes(net, (0, 0))[0]
+    p = DataPacket(src=active, dst=sleeper.id, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes_by_id[active].send_data(p)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p.uid not in net.packet_log.delivered_at
+    assert net.counters.get("pages_sent") == 0  # no RAS in GAF
+
+
+def test_gaf_conserves_energy_vs_always_on():
+    net = make_gaf([(30, 30), (50, 50), (70, 70)])
+    net.run(until=100.0)
+    gaf_aen = net.aen()
+    grid_net = make_static_network(
+        [(30, 30), (50, 50), (70, 70)], protocol="grid"
+    )
+    grid_net.run(until=100.0)
+    assert gaf_aen < grid_net.aen()
+
+
+def test_gaf_params_defaults():
+    p = GafParams()
+    assert p.discovery_window_s > 0
+    assert p.active_time_s is None  # adaptive: enat/2
+    assert p.min_active_time_s < p.max_active_time_s
+    assert p.sleep_time_s > 0
+
+
+def test_adaptive_tenure_tracks_battery():
+    full = make_gaf([(50, 50)], energy_j=500.0)
+    full.run(until=3.0)
+    low = make_gaf([(50, 50)], energy_j=40.0)
+    low.run(until=3.0)
+    assert (
+        full.nodes[0].protocol._active_tenure()
+        > low.nodes[0].protocol._active_tenure()
+    )
+
+
+def test_explicit_tenure_overrides_adaptive():
+    from repro.protocols.gaf import GafProtocol
+    net = make_gaf([(50, 50)])
+    proto = net.nodes[0].protocol
+    proto.gaf = GafParams(active_time_s=42.0)
+    assert proto._active_tenure() == 42.0

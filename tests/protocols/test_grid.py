@@ -1,0 +1,77 @@
+"""GRID baseline: same routing, no energy awareness, no sleeping."""
+
+from repro.core.base import Role
+from repro.net.packet import DataPacket
+
+from tests.helpers import make_static_network, set_battery
+
+
+def gateways_of(net, cell=None):
+    return [
+        n.id
+        for n in net.nodes
+        if n.alive
+        and n.protocol.role is Role.GATEWAY
+        and (cell is None or n.protocol.my_cell == cell)
+    ]
+
+
+def test_nobody_ever_sleeps():
+    net = make_static_network([(30, 30), (50, 50), (70, 70)], protocol="grid")
+    net.run(until=30.0)
+    for n in net.nodes:
+        assert n.awake
+        assert n.protocol.role in (Role.GATEWAY, Role.ACTIVE)
+    assert net.counters.get("sleeps") == 0
+
+
+def test_election_ignores_battery_level():
+    # Host 1 at the center but nearly drained: still wins under GRID.
+    net = make_static_network([(30, 30), (50, 50)], protocol="grid")
+    net.start()
+    set_battery(net.nodes[1], 150.0)  # rbrc 0.3 (BOUNDARY)
+    net.sim.run(until=8.0)
+    assert gateways_of(net, (0, 0)) == [1]
+
+
+def test_no_load_balance_retirements():
+    net = make_static_network([(50, 50), (45, 45)], protocol="grid",
+                              energy_j=100.0)
+    net.run(until=80.0)
+    assert net.counters.get("load_balance_retirements") == 0
+
+
+def test_multi_hop_delivery():
+    positions = [(50 + 100 * i, 50) for i in range(5)]
+    net = make_static_network(positions, protocol="grid")
+    net.run(until=8.0)
+    p = DataPacket(src=0, dst=4, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 3.0)
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_delivery_to_non_gateway_is_direct():
+    """Destinations are always awake in GRID: no paging, no buffering."""
+    net = make_static_network([(30, 30), (50, 50), (70, 70)], protocol="grid")
+    net.run(until=8.0)
+    dst = [n.id for n in net.nodes if n.protocol.role is Role.ACTIVE][0]
+    src = gateways_of(net, (0, 0))[0]
+    p = DataPacket(src=src, dst=dst, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes_by_id[src].send_data(p)
+    net.sim.run(until=net.sim.now + 1.0)
+    assert p.uid in net.packet_log.delivered_at
+    assert net.counters.get("pages_sent") == 0
+
+
+def test_grid_hosts_die_at_idle_rate():
+    """All GRID hosts idle continuously: death at E/(idle+gps)."""
+    net = make_static_network([(50, 50), (250, 50)], protocol="grid",
+                              energy_j=20.0)
+    net.run(until=40.0)
+    expected = 20.0 / 0.863
+    assert net.sampler.first_death_time is not None
+    assert abs(net.sampler.first_death_time - expected) < 2.0
+    assert net.alive_fraction() == 0.0

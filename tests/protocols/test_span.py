@@ -1,0 +1,78 @@
+"""Span-style baseline: coordinator backbone, periodic wakeups."""
+
+from repro.net.packet import DataPacket
+
+from tests.helpers import line_positions, make_static_network
+
+
+def test_coordinators_emerge_to_bridge_gaps():
+    """A three-node line where the ends cannot hear each other: the
+    middle node must elect itself coordinator."""
+    net = make_static_network([(100, 100), (300, 100), (500, 100)],
+                              protocol="span", width=700.0)
+    net.run(until=10.0)
+    protos = [n.protocol for n in net.nodes]
+    assert protos[1].coordinator
+    assert net.counters.get("span_coordinator_terms") >= 1
+
+
+def test_fully_connected_clique_needs_no_coordinator():
+    net = make_static_network([(100, 100), (150, 100), (120, 160)],
+                              protocol="span")
+    net.run(until=10.0)
+    assert net.counters.get("span_coordinator_terms") == 0
+
+
+def test_non_coordinators_duty_cycle():
+    net = make_static_network([(100, 100), (300, 100), (500, 100)],
+                              protocol="span", width=700.0)
+    net.run(until=30.0)
+    # The end nodes sleep between windows; the coordinator never does.
+    assert net.counters.get("span_sleeps") >= 10
+    assert net.nodes[1].awake
+
+
+def test_delivery_across_coordinator_backbone():
+    net = make_static_network(line_positions(5, spacing=200.0),
+                              protocol="span", width=1100.0)
+    net.run(until=6.0)
+    p = DataPacket(src=0, dst=4, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 10.0)
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_delivery_to_sleeping_destination_waits_for_window():
+    """The final hop defers to the destination's next wakeup window —
+    Span's ATIM substitute."""
+    net = make_static_network([(100, 100), (300, 100), (500, 100)],
+                              protocol="span", width=700.0)
+    net.run(until=10.0)
+    # Node 2 sleeps between windows; node 0 sends to it.
+    p = DataPacket(src=0, dst=2, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 8.0)
+    assert p.uid in net.packet_log.delivered_at
+
+
+def test_span_saves_energy_vs_always_on():
+    positions = [(100, 100), (300, 100), (500, 100), (320, 180)]
+    span = make_static_network(positions, protocol="span", width=700.0)
+    span.run(until=60.0)
+    aodv = make_static_network(positions, protocol="aodv", width=700.0)
+    aodv.run(until=60.0)
+    assert span.aen() < aodv.aen()
+
+
+def test_span_experiment_runs_end_to_end():
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    r = run_experiment(ExperimentConfig(
+        protocol="span", n_hosts=14, width_m=400.0, height_m=400.0,
+        n_flows=3, sim_time_s=60.0, initial_energy_j=100.0, seed=4,
+    ))
+    assert r.delivery_rate > 0.6
+    assert r.counters.get("span_windows") > 0

@@ -1,0 +1,78 @@
+"""CBR flow generation."""
+
+import pytest
+
+from repro.metrics.collectors import PacketLog
+
+from tests.helpers import make_static_network
+
+
+def single_node_net():
+    return make_static_network([(50, 50), (150, 50)], protocol="flooding")
+
+
+def test_rate_and_count():
+    net = single_node_net()
+    from repro.traffic.cbr import CbrFlow
+    log = PacketLog()
+    CbrFlow(net.sim, 0, net.nodes[0], 1, rate_pps=2.0, log=log,
+            jitter_first=False)
+    net.run(until=10.0)
+    # 2 pps for 10 s starting at t=0: packets at 0, 0.5, ..., 10.
+    assert 20 <= log.sent_count <= 21
+
+
+def test_jittered_start_stays_within_first_interval():
+    net = single_node_net()
+    from repro.traffic.cbr import CbrFlow
+    log = PacketLog()
+    CbrFlow(net.sim, 0, net.nodes[0], 1, rate_pps=1.0, log=log)
+    net.run(until=5.0)
+    first = min(p.created_at for p in log.sent.values())
+    assert 0.0 <= first <= 1.0
+
+
+def test_packets_carry_metadata():
+    net = single_node_net()
+    from repro.traffic.cbr import CbrFlow
+    log = PacketLog()
+    CbrFlow(net.sim, 7, net.nodes[0], 1, rate_pps=1.0, size_bytes=256,
+            log=log, jitter_first=False)
+    net.run(until=3.5)
+    for p in log.sent.values():
+        assert p.src == 0
+        assert p.dst == 1
+        assert p.flow_id == 7
+        assert p.size_bytes == 256
+    seqnos = sorted(p.seqno for p in log.sent.values())
+    assert seqnos == list(range(1, len(seqnos) + 1))
+
+
+def test_flow_stops_at_stop_time():
+    net = single_node_net()
+    from repro.traffic.cbr import CbrFlow
+    log = PacketLog()
+    CbrFlow(net.sim, 0, net.nodes[0], 1, rate_pps=1.0, stop_s=5.0, log=log,
+            jitter_first=False)
+    net.run(until=20.0)
+    assert all(p.created_at <= 5.0 for p in log.sent.values())
+
+
+def test_flow_stops_when_source_dies():
+    net = make_static_network([(50, 50), (150, 50)], protocol="flooding",
+                              energy_j=5.0)
+    from repro.traffic.cbr import CbrFlow
+    log = PacketLog()
+    CbrFlow(net.sim, 0, net.nodes[0], 1, rate_pps=1.0, log=log,
+            jitter_first=False)
+    net.run(until=60.0)
+    death = net.sampler.first_death_time
+    assert death is not None
+    assert all(p.created_at <= death for p in log.sent.values())
+
+
+def test_invalid_rate_rejected():
+    net = single_node_net()
+    from repro.traffic.cbr import CbrFlow
+    with pytest.raises(ValueError):
+        CbrFlow(net.sim, 0, net.nodes[0], 1, rate_pps=0.0)

@@ -1,0 +1,45 @@
+"""Random flow selection."""
+
+import random
+
+import pytest
+
+from repro.traffic.flowset import FlowSpec, pick_random_pairs
+
+
+def test_pairs_have_distinct_src_dst():
+    rng = random.Random(1)
+    pairs = pick_random_pairs(rng, list(range(20)), 10)
+    assert len(pairs) == 10
+    for src, dst in pairs:
+        assert src != dst
+
+
+def test_sources_distinct_while_pool_lasts():
+    rng = random.Random(2)
+    pairs = pick_random_pairs(rng, list(range(10)), 10)
+    assert len({src for src, _ in pairs}) == 10
+
+
+def test_sources_wrap_when_pool_exhausted():
+    rng = random.Random(3)
+    pairs = pick_random_pairs(rng, [1, 2, 3], 6)
+    assert len(pairs) == 6
+
+
+def test_requires_two_candidates():
+    with pytest.raises(ValueError):
+        pick_random_pairs(random.Random(0), [1], 1)
+
+
+def test_deterministic_for_seed():
+    a = pick_random_pairs(random.Random(5), list(range(50)), 10)
+    b = pick_random_pairs(random.Random(5), list(range(50)), 10)
+    assert a == b
+
+
+def test_flow_spec_defaults():
+    spec = FlowSpec(src_id=1, dst_id=2, rate_pps=1.0)
+    assert spec.size_bytes == 512
+    assert spec.start_s == 0.0
+    assert spec.stop_s is None
