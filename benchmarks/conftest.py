@@ -7,20 +7,40 @@ pytest-benchmark (rounds=1: a whole-network simulation is the unit of
 work), prints the regenerated figure, and asserts the paper's *shape*
 claims.  ``EXPERIMENTS.md`` records paper-vs-measured per figure.
 
+Figure benches route through the sweep engine
+(`repro.experiments.sweep.SweepRunner`): ``run_once`` injects a shared
+runner into any benched callable that accepts a ``runner=`` keyword.
+Set ``ECGRID_BENCH_WORKERS=N`` to simulate grid points on N processes
+(results are byte-identical to serial; only wall time changes — note
+that parallel wall times are *not* comparable to the serial trajectory).
+Caching is off: a benchmark that reads cached results measures nothing.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
 """
 
-import pytest
+import inspect
+import os
+
+from repro.experiments.sweep import SweepRunner
 
 #: Scenario scale for figure benches (0.2 => 20 hosts, ~450 m, 400 s).
 SCALE = 0.2
 #: Seed used across all figure benches.
 SEED = 1
+#: Simulation processes per sweep (0 = inline serial, the default).
+WORKERS = int(os.environ.get("ECGRID_BENCH_WORKERS", "0"))
+
+
+def make_runner() -> SweepRunner:
+    """A fresh uncached runner with the benched worker count."""
+    return SweepRunner(workers=WORKERS)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Execute ``fn`` exactly once under the benchmark timer."""
+    if "runner" in inspect.signature(fn).parameters:
+        kwargs.setdefault("runner", make_runner())
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)

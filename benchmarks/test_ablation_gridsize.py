@@ -14,7 +14,8 @@ SIDES = (50.0, 80.0, 100.0, 117.0)
 
 def test_ablation_grid_size(benchmark):
     fig = run_once(
-        benchmark, figures.ablation_gridsize, SIDES, 1.0, SCALE, SEED
+        benchmark, figures.figure, "ablation-gridsize",
+        speed=1.0, scale=SCALE, seed=SEED, sides=SIDES,
     )
     print()
     print(fig.to_text())

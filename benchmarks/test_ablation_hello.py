@@ -15,7 +15,8 @@ PERIODS = (1.0, 2.0, 4.0, 8.0)
 
 def test_ablation_hello_period(benchmark):
     fig = run_once(
-        benchmark, figures.ablation_hello, PERIODS, 1.0, SCALE, SEED
+        benchmark, figures.figure, "ablation-hello",
+        speed=1.0, scale=SCALE, seed=SEED, periods=PERIODS,
     )
     print()
     print(fig.to_text())

@@ -11,7 +11,8 @@ from conftest import SCALE, SEED, run_once
 
 def test_ablation_load_balance(benchmark):
     fig = run_once(
-        benchmark, figures.ablation_loadbalance, 1.0, SCALE, SEED
+        benchmark, figures.figure, "ablation-loadbalance",
+        speed=1.0, scale=SCALE, seed=SEED,
     )
     print()
     print(fig.to_text())

@@ -14,14 +14,18 @@ POLICIES = ("bbox", "bbox_margin", "global")
 
 def test_ablation_search_policy(benchmark):
     fig = run_once(
-        benchmark, figures.ablation_search_policy, POLICIES, 1.0, SCALE, SEED
+        benchmark, figures.figure, "ablation-search",
+        speed=1.0, scale=SCALE, seed=SEED, policies=POLICIES,
     )
     print()
     print(fig.to_text())
 
-    forwarded = {p: fig.results[p].counters.get("rreq_forwarded", 0)
+    by_policy = {
+        r.config.params.search_policy: r for r in fig.results.values()
+    }
+    forwarded = {p: by_policy[p].counters.get("rreq_forwarded", 0)
                  for p in POLICIES}
-    delivery = {p: fig.results[p].delivery_rate for p in POLICIES}
+    delivery = {p: by_policy[p].delivery_rate for p in POLICIES}
 
     # Confinement suppresses the storm: bbox forwards no more RREQs
     # than global flooding.

@@ -21,7 +21,8 @@ DENSITIES = (50, 100, 200)
 @pytest.mark.parametrize("speed", [1.0, 10.0], ids=["1mps", "10mps"])
 def test_fig8_density_sweep(benchmark, speed):
     fig = run_once(
-        benchmark, figures.fig8, speed, SCALE, SEED, DENSITIES
+        benchmark, figures.figure, "fig8",
+        speed=speed, scale=SCALE, seed=SEED, densities=DENSITIES,
     )
     print()
     print(fig.to_text())
@@ -33,7 +34,7 @@ def test_fig8_density_sweep(benchmark, speed):
     grid_downs = []
     ecgrid_downs = []
     for label, r in fig.results.items():
-        if label.startswith("grid"):
+        if r.config.protocol == "grid":
             grid_downs.append((r.config.n_hosts, down_time(r)))
         else:
             ecgrid_downs.append((r.config.n_hosts, down_time(r)))

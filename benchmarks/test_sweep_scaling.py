@@ -1,0 +1,62 @@
+"""Sweep engine scaling: serial vs 2-worker wall time.
+
+Seeded runs are embarrassingly parallel — each worker re-derives its
+result purely from the pickled config — so a 2-worker pool should beat
+serial execution on any multi-core box, while producing *identical*
+metrics.  This bench records both wall times (and the speedup) into
+the benchmark trajectory; the identity claim is asserted outright.
+
+The workload is the Fig. 4 lifetime grid (1 protocol x 4 seeds) at a
+reduced scale: four independent simulations, no cache.
+"""
+
+import time
+
+from repro.experiments.export import result_to_dict
+from repro.experiments.figures import lifetime_spec
+from repro.experiments.sweep import SweepRunner
+
+from conftest import SEED
+
+#: Smaller than the figure benches: the unit here is engine dispatch,
+#: not paper fidelity.
+SWEEP_SCALE = 0.1
+SEEDS = list(range(SEED, SEED + 4))
+
+
+def _metrics(result):
+    d = result_to_dict(result)
+    d.pop("wall_time_s")
+    return d
+
+
+def test_sweep_serial_vs_parallel(benchmark):
+    spec = lifetime_spec(
+        speed=1.0, scale=SWEEP_SCALE, seeds=SEEDS, protocols=("ecgrid",)
+    )
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(workers=0).run(spec)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        SweepRunner(workers=2).run, args=(spec,), rounds=1, iterations=1
+    )
+    parallel_s = time.perf_counter() - t0
+
+    # Same seeds -> identical metrics, regardless of execution strategy.
+    assert [_metrics(r) for r in serial.results] == \
+           [_metrics(r) for r in parallel.results]
+    assert serial.executed == parallel.executed == len(SEEDS)
+
+    # Simulation wall time is measured inside the executing process.
+    for r in parallel.results:
+        assert r.wall_time_s > 0.0
+
+    benchmark.extra_info.update(
+        points=len(SEEDS),
+        serial_s=round(serial_s, 3),
+        parallel2_s=round(parallel_s, 3),
+        speedup=round(serial_s / parallel_s, 2) if parallel_s > 0 else None,
+    )

@@ -4,41 +4,60 @@
 ECGRID keeps exactly one gateway per occupied grid awake, so the more
 hosts share a grid the more of them sleep: network lifetime grows with
 density.  GRID's lifetime is density-independent (everyone idles).
-This script sweeps density at a reduced scale and prints the half-alive
-time per configuration.
 
-Run:  python examples/density_sweep.py
+This script declares the whole grid as one ``SweepSpec`` (protocol x
+density) and hands it to a ``SweepRunner`` — pass ``--workers N`` to
+simulate the eight points on N processes instead of serially.
+
+Run:  python examples/density_sweep.py [--workers 4]
 """
 
-from repro import ExperimentConfig, run_experiment
+import argparse
+
+from repro import ExperimentConfig
 from repro.experiments.report import format_summary_table, sparkline
+from repro.experiments.sweep import SweepRunner, SweepSpec
 
 SCALE = 0.25
 DENSITIES = (50, 100, 150, 200)     # paper's host counts (pre-scale)
 
 
 def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--workers", type=int, default=0,
+                    help="simulation processes (0 = inline serial)")
+    args = ap.parse_args()
+
+    spec = SweepSpec(
+        name="density-sweep",
+        base=ExperimentConfig(max_speed_mps=1.0, seed=3),
+        axes={"protocol": ["grid", "ecgrid"], "hosts": list(DENSITIES)},
+        scale=SCALE,
+    )
+    runner = SweepRunner(
+        workers=args.workers,
+        progress=lambda done, total, o: print(
+            f"  done [{done}/{total}]: {o.point.key()} "
+            f"-> n={o.point.config.n_hosts} ({o.result.wall_time_s:.1f}s sim wall)"
+        ),
+    )
+    run = runner.run(spec)
+
     rows = []
     curves = {}
-    for protocol in ("grid", "ecgrid"):
-        for n in DENSITIES:
-            cfg = ExperimentConfig(
-                protocol=protocol, n_hosts=n, max_speed_mps=1.0, seed=3
-            ).scaled(SCALE)
-            r = run_experiment(cfg)
-            half_dead = r.alive_fraction.first_time_below(0.5)
-            rows.append({
-                "protocol": protocol,
-                "hosts": cfg.n_hosts,
-                "half_alive_s": (
-                    half_dead if half_dead is not None else cfg.sim_time_s
-                ),
-                "aen_end": r.aen.last(),
-                "delivery_pct": r.delivery_rate * 100.0,
-            })
-            curves[f"{protocol}-n{cfg.n_hosts}"] = r.alive_fraction.values
-            print(f"  done: {protocol} n={cfg.n_hosts} "
-                  f"({r.wall_time_s:.1f}s wall)")
+    for outcome in run.outcomes:
+        cfg, r = outcome.point.config, outcome.result
+        half_dead = r.alive_fraction.first_time_below(0.5)
+        rows.append({
+            "protocol": cfg.protocol,
+            "hosts": cfg.n_hosts,
+            "half_alive_s": (
+                half_dead if half_dead is not None else cfg.sim_time_s
+            ),
+            "aen_end": r.aen.last(),
+            "delivery_pct": r.delivery_rate * 100.0,
+        })
+        curves[f"{cfg.protocol}-n{cfg.n_hosts}"] = r.alive_fraction.values
 
     print()
     print(format_summary_table("Figure 8 (scaled): lifetime vs density", rows))

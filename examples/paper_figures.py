@@ -2,20 +2,25 @@
 """Regenerate every paper figure in one go and export CSVs.
 
 The one-stop reproduction script: runs Figures 4–8 (both speeds where
-the paper shows both) at the requested scale, prints each as a table,
-and drops CSVs into ``--out`` for external plotting.  With
-``--seeds N`` each curve is the mean over N seeds.
+the paper shows both) at the requested scale through the sweep engine,
+prints each as a table, and drops CSVs into ``--out`` for external
+plotting.  With ``--seeds N`` each curve is the mean over N seeds
+(stddev bands ride along in the JSON export); ``--workers N``
+simulates grid points on N processes; repeated invocations only
+simulate points whose config changed (``--cache-dir`` / ``--no-cache``).
 
     python examples/paper_figures.py --scale 0.2 --out out/
+    python examples/paper_figures.py --scale 0.2 --seeds 4 --workers 4
     python examples/paper_figures.py --scale 1.0          # paper scale
 """
 
 import argparse
 import os
 
-from repro.experiments import figures
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.export import figure_to_csv
-from repro.experiments.stats import replicate_figure
+from repro.experiments.figures import figure
+from repro.experiments.sweep import SweepRunner
 
 
 def main() -> None:
@@ -25,38 +30,48 @@ def main() -> None:
     ap.add_argument("--seeds", type=int, default=1)
     ap.add_argument("--out", default=None, help="directory for CSV export")
     ap.add_argument("--speeds", type=float, nargs="+", default=[1.0, 10.0])
+    ap.add_argument("--workers", type=int, default=0,
+                    help="simulation processes (0 = inline serial)")
+    ap.add_argument("--cache-dir", default=None)
+    ap.add_argument("--no-cache", action="store_true")
     args = ap.parse_args()
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
 
-    jobs = []
-    for speed in args.speeds:
-        jobs += [
-            (f"fig4_speed{speed:g}", figures.fig4, dict(speed=speed)),
-            (f"fig5_speed{speed:g}", figures.fig5, dict(speed=speed)),
-            (f"fig6_speed{speed:g}", figures.fig6, dict(speed=speed)),
-            (f"fig7_speed{speed:g}", figures.fig7, dict(speed=speed)),
-            (f"fig8_speed{speed:g}", figures.fig8, dict(speed=speed)),
-        ]
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=cache,
+        progress=lambda done, total, o: print(
+            f"  [{done}/{total}] {o.point.key()}"
+            f"{' (cached)' if o.cached else ''}"
+        ),
+    )
 
-    for name, fn, kwargs in jobs:
-        print(f"\n=== {name} (scale {args.scale}) ===")
-        if args.seeds > 1:
-            fig = replicate_figure(
-                fn,
-                seeds=range(args.seed, args.seed + args.seeds),
+    for speed in args.speeds:
+        for name in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+            print(f"\n=== {name}_speed{speed:g} (scale {args.scale}) ===")
+            fig = figure(
+                name,
+                speed=speed,
                 scale=args.scale,
-                **kwargs,
+                seed=args.seed,
+                seeds=args.seeds,
+                runner=runner,
             )
-        else:
-            fig = fn(scale=args.scale, seed=args.seed, **kwargs)
-        print(fig.to_text())
-        if args.out:
-            path = os.path.join(args.out, f"{name}.csv")
-            with open(path, "w") as fh:
-                fh.write(figure_to_csv(fig))
-            print(f"-> {path}")
+            print(fig.to_text())
+            if args.out:
+                path = os.path.join(args.out, f"{name}_speed{speed:g}.csv")
+                with open(path, "w") as fh:
+                    fh.write(figure_to_csv(fig))
+                print(f"-> {path}")
+
+    if cache is not None:
+        print(f"\ncache: {cache.misses} simulated, {cache.hits} reused "
+              f"({cache.root})")
 
 
 if __name__ == "__main__":

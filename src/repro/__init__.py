@@ -38,6 +38,10 @@ from repro.core import EcGridProtocol
 from repro.experiments import (
     ExperimentConfig,
     ExperimentResult,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    figure,
     run_experiment,
 )
 
@@ -73,6 +77,10 @@ __all__ = [
     "FloodingProtocol",
     "ExperimentConfig",
     "ExperimentResult",
+    "ResultCache",
+    "SweepRunner",
+    "SweepSpec",
+    "figure",
     "run_experiment",
     "__version__",
 ]

@@ -5,20 +5,27 @@ Examples::
 
     ecgrid run --protocol ecgrid --hosts 60 --time 400
     ecgrid fig4 --speed 1 --scale 0.25
-    ecgrid fig8 --speed 10 --scale 0.2
+    ecgrid fig8 --speed 10 --scale 0.2 --workers 4
     ecgrid ablation-hello --scale 0.2
-    ecgrid fig4 --paper          # full paper-scale parameters (slow)
+    ecgrid fig4 --seeds 4 --workers 4    # parallel seed replication
+    ecgrid fig4 --paper                  # full paper-scale parameters (slow)
+
+Figure subcommands run through the sweep engine: ``--workers N``
+simulates grid points on N processes (``0`` = inline serial), and
+results are cached on disk by config hash (``--cache-dir``,
+``--no-cache``) so re-running a figure only simulates what changed.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
 from repro.experiments import figures
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.config import ExperimentConfig, PROTOCOLS
 from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import SweepRunner
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -32,36 +39,48 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "--seeds", type=int, default=1,
         help="replicate over N seeds (seed..seed+N-1) and average curves",
     )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="simulate grid points on N processes (0 = inline serial)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
 
 
 def _scale(args) -> float:
     return 1.0 if args.paper else args.scale
 
 
-def _figure(fn_name: str, args) -> "figures.FigureData":
-    fn = getattr(figures, fn_name)
-    kwargs = dict(speed=args.speed, scale=_scale(args))
-    seeds = getattr(args, "seeds", 1)
-    if seeds > 1:
-        from repro.experiments.stats import replicate_figure
-
-        return replicate_figure(
-            fn, seeds=range(args.seed, args.seed + seeds), **kwargs
-        )
-    return fn(seed=args.seed, **kwargs)
+def _runner(args) -> SweepRunner:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return SweepRunner(workers=args.workers, cache=cache)
 
 
-FIGS: Dict[str, Callable] = {
-    "fig4": lambda a: _figure("fig4", a),
-    "fig5": lambda a: _figure("fig5", a),
-    "fig6": lambda a: _figure("fig6", a),
-    "fig7": lambda a: _figure("fig7", a),
-    "fig8": lambda a: _figure("fig8", a),
-    "ablation-hello": lambda a: _figure("ablation_hello", a),
-    "ablation-loadbalance": lambda a: _figure("ablation_loadbalance", a),
-    "ablation-gridsize": lambda a: _figure("ablation_gridsize", a),
-    "ablation-search": lambda a: _figure("ablation_search_policy", a),
-}
+def _figure(name: str, args) -> "figures.FigureData":
+    runner = _runner(args)
+    fig = figures.figure(
+        name,
+        speed=args.speed,
+        scale=_scale(args),
+        seed=args.seed,
+        seeds=args.seeds,
+        runner=runner,
+    )
+    cached = 0 if runner.cache is None else runner.cache.hits
+    simulated = None if runner.cache is None else runner.cache.misses
+    print(
+        f"sweep: {simulated if simulated is not None else 'all'} point(s) "
+        f"simulated, {cached} cached (workers={args.workers})"
+    )
+    return fig
 
 
 def main(argv=None) -> int:
@@ -83,7 +102,7 @@ def main(argv=None) -> int:
     run_p.add_argument("--area", type=float, default=1000.0)
     run_p.add_argument("--seed", type=int, default=1)
 
-    for name in FIGS:
+    for name in figures.FIGURES:
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
         _add_common(fig_p)
 
@@ -147,7 +166,7 @@ def main(argv=None) -> int:
         print(result.summary())
         return 0
 
-    fig = FIGS[args.command](args)
+    fig = _figure(args.command, args)
     print(fig.to_text())
     if getattr(args, "csv", None):
         from repro.experiments.export import figure_to_csv

@@ -1,11 +1,23 @@
-"""Experiment harness: configs, the runner, and the paper's figures."""
+"""Experiment harness: configs, the sweep engine, and the paper's figures."""
 
 from repro.experiments.config import ExperimentConfig, PROTOCOLS
 from repro.experiments.runner import ExperimentResult, build_network, run_experiment
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.sweep import (
+    SweepError,
+    SweepOutcome,
+    SweepPoint,
+    SweepRun,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.experiments.figures import FIGURES, FigureData, figure
 from repro.experiments.report import format_series_table, format_summary_table
 from repro.experiments.export import (
     figure_to_csv,
     figure_to_json,
+    result_from_dict,
+    result_from_json,
     result_to_dict,
     result_to_json,
 )
@@ -15,6 +27,8 @@ from repro.experiments.validate import InvariantChecker, InvariantReport
 __all__ = [
     "figure_to_csv",
     "figure_to_json",
+    "result_from_dict",
+    "result_from_json",
     "result_to_dict",
     "result_to_json",
     "render_snapshot",
@@ -25,6 +39,17 @@ __all__ = [
     "ExperimentResult",
     "build_network",
     "run_experiment",
+    "ResultCache",
+    "default_cache_dir",
+    "SweepError",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepRun",
+    "SweepRunner",
+    "SweepSpec",
+    "FIGURES",
+    "FigureData",
+    "figure",
     "format_series_table",
     "format_summary_table",
 ]

@@ -1,0 +1,95 @@
+"""On-disk result cache keyed by config content hash.
+
+Layout: one JSON file per simulated point, named
+``<cache_root>/<ExperimentConfig.cache_key()>.json`` and containing
+exactly the :func:`repro.experiments.export.result_to_dict` record.
+Because the key hashes *every* config field (seed and nested protocol
+tunables included, salted with ``CONFIG_SCHEMA``), changing any
+parameter changes the key — invalidation is automatic, there is
+nothing to expire.  Records carry ``"schema"``; a stale or unreadable
+file is treated as a miss and silently overwritten on the next store.
+
+Writes go through a temp file + :func:`os.replace` so concurrent
+workers (or concurrent sweep processes) racing on the same key each
+leave a complete record rather than a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import result_from_dict, result_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import ExperimentResult
+
+
+def default_cache_dir() -> Path:
+    """``$ECGRID_CACHE_DIR`` > ``$XDG_CACHE_HOME/ecgrid`` > ``~/.cache/ecgrid``."""
+    env = os.environ.get("ECGRID_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "ecgrid"
+
+
+class ResultCache:
+    """Config-hash-addressed store of :class:`ExperimentResult` records."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        return self.root / f"{config.cache_key()}.json"
+
+    def get(self, config: ExperimentConfig) -> Optional["ExperimentResult"]:
+        """The cached result for this exact config, or None."""
+        path = self.path_for(config)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            result = result_from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, torn, or stale-schema record: a miss either way.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, result: "ExperimentResult") -> Path:
+        """Store one result atomically; returns the record's path."""
+        path = self.path_for(config)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(result_to_dict(result), fh, default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n

@@ -10,15 +10,22 @@ scenario while preserving host density, per-host load and lifetime
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
 
 from repro.protocols.base import ProtocolParams
 from repro.protocols.gaf import GafParams
 
 #: Registered protocol names.
 PROTOCOLS = ("ecgrid", "grid", "gaf", "aodv", "span", "dsdv", "flooding")
+
+#: Version salt for :meth:`ExperimentConfig.cache_key`.  Bump whenever a
+#: config field changes meaning (or the simulation semantics behind one
+#: do), so previously cached results stop matching.
+CONFIG_SCHEMA = 1
 
 
 @dataclass
@@ -100,6 +107,36 @@ class ExperimentConfig:
             initial_energy_j=self.initial_energy_j * factor,
             sim_time_s=self.sim_time_s * factor,
         )
+
+    # -- serialization / identity ----------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (nested param dataclasses become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict` (rebuilds nested param objects)."""
+        d = dict(data)
+        d["params"] = ProtocolParams(**d.get("params", {}))
+        d["gaf"] = GafParams(**d.get("gaf", {}))
+        return cls(**d)
+
+    def cache_key(self) -> str:
+        """Stable content hash of the fully-resolved config.
+
+        Two configs share a key iff every field (nested tunables and
+        seed included) is equal, so a key identifies one deterministic
+        simulation outcome.  The key salts in :data:`CONFIG_SCHEMA` so
+        cached results can be invalidated en masse when semantics
+        change.
+        """
+        payload = json.dumps(
+            {"schema": CONFIG_SCHEMA, "config": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
     def describe(self) -> str:
         return (

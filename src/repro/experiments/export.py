@@ -3,6 +3,11 @@
 The text tables in :mod:`repro.experiments.report` are for humans;
 these exporters feed external plotting (matplotlib, gnuplot, pandas)
 without adding any plotting dependency to the library.
+
+Both exporters emit a versioned schema (``"schema": 1``) and results
+round-trip losslessly through :func:`result_to_dict` /
+:func:`result_from_dict` — that round-trip is what the on-disk sweep
+cache (:mod:`repro.experiments.cache`) is built on.
 """
 
 from __future__ import annotations
@@ -10,23 +15,32 @@ from __future__ import annotations
 import csv
 import io
 import json
-from dataclasses import asdict
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.timeseries import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.figures import FigureData
     from repro.experiments.runner import ExperimentResult
 
+#: Version of the exported result/figure dict layout.  Bump on any
+#: change to the keys or their meaning; cached results with a stale
+#: schema are treated as misses.
+RESULT_SCHEMA = 1
+
 
 def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
-    """A JSON-serializable summary of one run."""
-    cfg = asdict(result.config)
-    # Nested param dataclasses serialize too (asdict recurses).
+    """A JSON-serializable record of one run (schema-versioned)."""
+    cfg = result.config.to_dict()
+    # Nested param dataclasses serialize too (to_dict recurses).
     return {
+        "schema": RESULT_SCHEMA,
         "config": cfg,
         "sent": result.sent,
         "delivered": result.delivered,
         "delivery_rate": result.delivery_rate,
+        "delivery_rate_pre_death": result.delivery_rate_pre_death,
         "mean_latency_s": result.mean_latency_s,
         "latency_p95_s": result.latency_p95_s,
         "mean_hops": result.mean_hops,
@@ -42,8 +56,53 @@ def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
     }
 
 
+def _series(name: str, rows: Sequence[Tuple[float, float]]) -> TimeSeries:
+    ts = TimeSeries(name)
+    for t, v in rows:
+        ts.append(t, v)
+    return ts
+
+
+def result_from_dict(data: Mapping[str, Any]) -> "ExperimentResult":
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`.
+
+    Raises :class:`ValueError` on a schema mismatch so callers (the
+    cache) can treat stale records as misses instead of mis-reading
+    them.
+    """
+    from repro.experiments.runner import ExperimentResult
+
+    if data.get("schema") != RESULT_SCHEMA:
+        raise ValueError(
+            f"result schema {data.get('schema')!r} != {RESULT_SCHEMA}"
+        )
+    return ExperimentResult(
+        config=ExperimentConfig.from_dict(data["config"]),
+        alive_fraction=_series("alive_fraction", data["alive_fraction"]),
+        aen=_series("aen", data["aen"]),
+        sent=data["sent"],
+        delivered=data["delivered"],
+        delivery_rate=data["delivery_rate"],
+        delivery_rate_pre_death=data["delivery_rate_pre_death"],
+        mean_latency_s=data["mean_latency_s"],
+        latency_p95_s=data["latency_p95_s"],
+        mean_hops=data["mean_hops"],
+        duplicates=data["duplicates"],
+        first_death_s=data["first_death_s"],
+        all_dead_s=data["all_dead_s"],
+        counters=dict(data["counters"]),
+        medium=dict(data["medium"]),
+        events_executed=data["events_executed"],
+        wall_time_s=data["wall_time_s"],
+    )
+
+
 def result_to_json(result: "ExperimentResult", indent: int = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent, default=str)
+
+
+def result_from_json(text: str) -> "ExperimentResult":
+    return result_from_dict(json.loads(text))
 
 
 def figure_to_csv(fig: "FigureData") -> str:
@@ -62,13 +121,30 @@ def figure_to_csv(fig: "FigureData") -> str:
 
 
 def figure_to_json(fig: "FigureData", indent: int = 2) -> str:
+    """Schema-versioned figure export.
+
+    ``series`` holds the mean curves, ``bands`` the pointwise sample
+    stddev across seeds (all-zero for single-seed figures), ``raw`` the
+    per-seed curves the mean was reduced from (in ``seeds`` order).
+    Wall-clock times are deliberately absent: the export is a pure
+    function of the config grid, so re-running the same figure —
+    serially, in parallel, or from a warm cache — yields byte-identical
+    JSON.
+    """
     return json.dumps(
         {
+            "schema": RESULT_SCHEMA,
             "figure_id": fig.figure_id,
             "title": fig.title,
             "x_label": fig.x_label,
             "y_label": fig.y_label,
+            "seeds": list(fig.seeds),
             "series": {k: list(v) for k, v in fig.series.items()},
+            "bands": {k: list(v) for k, v in fig.bands.items()},
+            "raw": {
+                k: [list(s) for s in per_seed]
+                for k, per_seed in fig.raw.items()
+            },
         },
         indent=indent,
     )

@@ -1,32 +1,70 @@
 """Regeneration of every figure in the paper's evaluation (§4).
 
-The paper's evaluation is Figures 4–8 (it has no tables); each function
-here reproduces one figure as structured series data.  ``scale=1.0``
-reruns the paper's exact parameters (slow: full 2000 s, 100+ hosts);
-benchmarks use scaled-down variants that preserve density and load, so
-the *shape* claims (who wins, by what factor, where the knees are)
-remain comparable.  Three ablations probe the design choices §3
-motivates but does not quantify.
+The paper's evaluation is Figures 4–8 (it has no tables); four
+ablations probe the design choices §3 motivates but does not quantify.
+Each figure is registered in :data:`FIGURES` as a declarative
+:class:`~repro.experiments.sweep.SweepSpec` grid plus an aggregation
+step, and regenerated through the one entry point::
+
+    figure("fig4", speed=10.0, scale=0.2, seeds=4,
+           runner=SweepRunner(workers=4, cache=ResultCache(...)))
+
+``scale=1.0`` reruns the paper's exact parameters (slow: full 2000 s,
+100+ hosts); benchmarks use scaled-down variants that preserve density
+and load, so the *shape* claims (who wins, by what factor, where the
+knees are) remain comparable.  With ``seeds=N`` every curve is the
+pointwise mean over N seeds and ``FigureData.bands`` carries the
+sample stddev (the per-seed raw curves stay in ``FigureData.raw``).
+
+The pre-registry per-figure functions (``fig4`` … ``ablation_*``)
+remain as deprecated wrappers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_series_table
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepRun,
+    SweepRunner,
+    SweepSpec,
+    mean_series,
+    stddev_series,
+)
 
 Series = List[Tuple[float, float]]
 
 #: The three protocols of Figs. 4–7.
 COMPARED = ("grid", "ecgrid", "gaf")
 
+#: ``extract(point, result)`` yields ``(label, x, y)`` contributions of
+#: one run to a figure; seeds sharing a (label, x) cell get averaged.
+ExtractFn = Callable[[SweepPoint, ExperimentResult], Iterable[Tuple[str, float, float]]]
+
 
 @dataclass
 class FigureData:
-    """One regenerated figure: labelled (x, y) series plus run records."""
+    """One regenerated figure: labelled (x, y) series plus run records.
+
+    ``series`` holds the mean curves (the figure as plotted), ``bands``
+    the pointwise sample stddev across seeds (zero for one seed), and
+    ``raw`` the per-seed curves behind each mean, ordered like
+    ``seeds``.
+    """
 
     figure_id: str
     title: str
@@ -34,6 +72,9 @@ class FigureData:
     y_label: str
     series: Dict[str, Series]
     results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    bands: Dict[str, Series] = field(default_factory=dict)
+    raw: Dict[str, List[Series]] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=list)
 
     def to_text(self) -> str:
         return format_series_table(
@@ -55,93 +96,491 @@ def _base(speed: float, scale: float, seed: int, **overrides) -> ExperimentConfi
     return cfg.scaled(scale)
 
 
+def _assemble(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    run: SweepRun,
+    extract: ExtractFn,
+    seeds: Sequence[int],
+) -> FigureData:
+    """Reduce a sweep to mean curves ± stddev bands across seeds."""
+    per_label: Dict[str, Dict[int, Series]] = {}
+    results: Dict[str, ExperimentResult] = {}
+    for outcome in run.outcomes:
+        point, result = outcome.point, outcome.result
+        seed = point.axes.get("seed", point.config.seed)
+        for label, x, y in extract(point, result):
+            per_label.setdefault(label, {}).setdefault(seed, []).append((x, y))
+        results[point.key()] = result
+    series: Dict[str, Series] = {}
+    bands: Dict[str, Series] = {}
+    raw: Dict[str, List[Series]] = {}
+    for label, by_seed in per_label.items():
+        replicates = [sorted(by_seed[s]) for s in seeds if s in by_seed]
+        raw[label] = replicates
+        series[label] = mean_series(replicates)
+        bands[label] = stddev_series(replicates)
+    return FigureData(
+        figure_id, title, x_label, y_label,
+        series, results, bands, raw, list(seeds),
+    )
+
+
+def _default_runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    return runner if runner is not None else SweepRunner()
+
+
+# ----------------------------------------------------------------------
+# Shared workloads
+# ----------------------------------------------------------------------
+def lifetime_spec(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seeds: Sequence[int] = (1,),
+    protocols: Sequence[str] = COMPARED,
+) -> SweepSpec:
+    """The shared grid behind Figs. 4 and 5."""
+    return SweepSpec(
+        name="lifetime",
+        base=ExperimentConfig(max_speed_mps=speed, pause_time_s=0.0),
+        axes={"protocol": list(protocols), "seed": list(seeds)},
+        scale=scale,
+    )
+
+
 def lifetime_runs(
     speed: float = 1.0,
     scale: float = 1.0,
     seed: int = 1,
     protocols: Sequence[str] = COMPARED,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, ExperimentResult]:
-    """The shared workload behind Figs. 4 and 5."""
-    out: Dict[str, ExperimentResult] = {}
-    for proto in protocols:
-        cfg = _base(speed, scale, seed, protocol=proto)
-        out[proto] = run_experiment(cfg)
-    return out
+    """The shared workload behind Figs. 4 and 5 (single seed)."""
+    run = _default_runner(runner).run(
+        lifetime_spec(speed, scale, [seed], protocols)
+    )
+    return {o.point.axes["protocol"]: o.result for o in run.outcomes}
 
 
-# ----------------------------------------------------------------------
-# Figure 4: fraction of alive hosts vs simulation time
-# ----------------------------------------------------------------------
-def fig4(
-    speed: float = 1.0,
-    scale: float = 1.0,
-    seed: int = 1,
-    runs: Optional[Dict[str, ExperimentResult]] = None,
-) -> FigureData:
-    runs = runs or lifetime_runs(speed, scale, seed)
-    series = {p: list(r.alive_fraction) for p, r in runs.items()}
-    return FigureData(
-        "fig4",
-        f"Fraction of alive hosts vs time (speed {speed} m/s)",
-        "t(s)",
-        "alive fraction",
-        series,
-        runs,
+def pause_sweep_spec(
+    speed: float,
+    scale: float,
+    seeds: Sequence[int] = (1,),
+    pauses: Optional[Sequence[float]] = None,
+    protocols: Sequence[str] = COMPARED,
+) -> SweepSpec:
+    """Shared grid behind Figs. 6 and 7.
+
+    The paper measures both at simulation time 590 s (where GRID's
+    hosts exhaust); scaled runs use the proportional horizon.  The base
+    config is pre-scaled here (pause values are post-scale seconds), so
+    the spec itself carries ``scale=1.0``.
+    """
+    if pauses is None:
+        pauses = [p * scale for p in (0, 100, 200, 300, 400, 500, 600)]
+    base = _base(speed, scale, seeds[0])
+    base = replace(base, sim_time_s=590.0 * scale)
+    return SweepSpec(
+        name="pause-sweep",
+        base=base,
+        axes={
+            "protocol": list(protocols),
+            "pause_time_s": list(pauses),
+            "seed": list(seeds),
+        },
     )
 
 
-# ----------------------------------------------------------------------
-# Figure 5: mean energy consumption per host (aen) vs simulation time
-# ----------------------------------------------------------------------
-def fig5(
-    speed: float = 1.0,
-    scale: float = 1.0,
-    seed: int = 1,
-    runs: Optional[Dict[str, ExperimentResult]] = None,
-) -> FigureData:
-    runs = runs or lifetime_runs(speed, scale, seed)
-    series = {p: list(r.aen) for p, r in runs.items()}
-    return FigureData(
-        "fig5",
-        f"Mean energy consumption per host (aen) vs time (speed {speed} m/s)",
-        "t(s)",
-        "aen",
-        series,
-        runs,
-    )
-
-
-# ----------------------------------------------------------------------
-# Figures 6 & 7: latency / delivery rate vs pause time
-# ----------------------------------------------------------------------
 def pause_sweep_runs(
     speed: float,
     scale: float,
     seed: int,
     pauses: Optional[Sequence[float]] = None,
     protocols: Sequence[str] = COMPARED,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[Tuple[str, float], ExperimentResult]:
-    """Shared workload behind Figs. 6 and 7.
+    """Shared workload behind Figs. 6 and 7 (single seed)."""
+    run = _default_runner(runner).run(
+        pause_sweep_spec(speed, scale, [seed], pauses, protocols)
+    )
+    return {
+        (o.point.axes["protocol"], o.point.axes["pause_time_s"]): o.result
+        for o in run.outcomes
+    }
 
-    The paper measures both at simulation time 590 s (where GRID's hosts
-    exhaust); scaled runs use the proportional horizon.
+
+# ----------------------------------------------------------------------
+# Figure implementations (registered in FIGURES)
+# ----------------------------------------------------------------------
+def _series_extract(attr: str) -> ExtractFn:
+    """Whole sampled curve (``alive_fraction`` / ``aen``) per protocol."""
+    def extract(point: SweepPoint, result: ExperimentResult):
+        label = point.axes["protocol"]
+        return [(label, t, v) for t, v in getattr(result, attr)]
+    return extract
+
+
+def _fig4(runner, speed, scale, seeds, protocols=COMPARED) -> FigureData:
+    run = runner.run(lifetime_spec(speed, scale, seeds, protocols))
+    return _assemble(
+        "fig4",
+        f"Fraction of alive hosts vs time (speed {speed} m/s)",
+        "t(s)",
+        "alive fraction",
+        run,
+        _series_extract("alive_fraction"),
+        seeds,
+    )
+
+
+def _fig5(runner, speed, scale, seeds, protocols=COMPARED) -> FigureData:
+    run = runner.run(lifetime_spec(speed, scale, seeds, protocols))
+    return _assemble(
+        "fig5",
+        f"Mean energy consumption per host (aen) vs time (speed {speed} m/s)",
+        "t(s)",
+        "aen",
+        run,
+        _series_extract("aen"),
+        seeds,
+    )
+
+
+def _fig6(runner, speed, scale, seeds, pauses=None, protocols=COMPARED) -> FigureData:
+    run = runner.run(pause_sweep_spec(speed, scale, seeds, pauses, protocols))
+
+    def extract(point, result):
+        return [(
+            point.axes["protocol"],
+            point.axes["pause_time_s"],
+            result.mean_latency_s * 1000.0,
+        )]
+
+    return _assemble(
+        "fig6",
+        f"Packet delivery latency vs pause time (speed {speed} m/s)",
+        "pause(s)",
+        "latency (ms)",
+        run,
+        extract,
+        seeds,
+    )
+
+
+def _fig7(runner, speed, scale, seeds, pauses=None, protocols=COMPARED) -> FigureData:
+    run = runner.run(pause_sweep_spec(speed, scale, seeds, pauses, protocols))
+
+    def extract(point, result):
+        return [(
+            point.axes["protocol"],
+            point.axes["pause_time_s"],
+            result.delivery_rate * 100.0,
+        )]
+
+    return _assemble(
+        "fig7",
+        f"Packet delivery rate vs pause time (speed {speed} m/s)",
+        "pause(s)",
+        "delivery (%)",
+        run,
+        extract,
+        seeds,
+    )
+
+
+def _fig8(
+    runner, speed, scale, seeds,
+    densities: Sequence[int] = (50, 100, 150, 200),
+    protocols: Sequence[str] = ("grid", "ecgrid"),
+) -> FigureData:
+    spec = SweepSpec(
+        name="fig8-density",
+        base=ExperimentConfig(max_speed_mps=speed, pause_time_s=0.0),
+        axes={
+            "protocol": list(protocols),
+            "hosts": list(densities),
+            "seed": list(seeds),
+        },
+        scale=scale,
+    )
+    run = runner.run(spec)
+
+    def extract(point, result):
+        # Label by the post-scale host count actually simulated.
+        label = f"{point.axes['protocol']}-n{point.config.n_hosts}"
+        return [(label, t, v) for t, v in result.alive_fraction]
+
+    return _assemble(
+        "fig8",
+        f"Alive hosts vs time across host density (speed {speed} m/s)",
+        "t(s)",
+        "alive fraction",
+        run,
+        extract,
+        seeds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices §3 calls out)
+# ----------------------------------------------------------------------
+def _ablation_hello(
+    runner, speed, scale, seeds,
+    periods: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+) -> FigureData:
+    """§4A attributes ECGRID's gap to GAF to HELLO overhead: sweep the
+    HELLO period and watch energy vs responsiveness trade."""
+    spec = SweepSpec(
+        name="ablation-hello",
+        base=ExperimentConfig(
+            protocol="ecgrid", max_speed_mps=speed, pause_time_s=0.0
+        ),
+        axes={"params.hello_period_s": list(periods), "seed": list(seeds)},
+        scale=scale,
+    )
+    run = runner.run(spec)
+
+    def extract(point, result):
+        period = point.axes["params.hello_period_s"]
+        return [
+            ("aen_end", period, result.aen.last()),
+            ("delivery_pct", period, result.delivery_rate * 100.0),
+            ("hello_sent", period, float(result.counters.get("hello_sent", 0))),
+        ]
+
+    return _assemble(
+        "ablation-hello",
+        "ECGRID HELLO-period sweep",
+        "hello period (s)",
+        "aen / delivery% / count",
+        run,
+        extract,
+        seeds,
+    )
+
+
+def _ablation_loadbalance(runner, speed, scale, seeds) -> FigureData:
+    """§3.2's load-balance rotation: does disabling it concentrate
+    drain on long-lived gateways (earlier first death)?"""
+    spec = SweepSpec(
+        name="ablation-loadbalance",
+        base=ExperimentConfig(
+            protocol="ecgrid", max_speed_mps=speed, pause_time_s=0.0
+        ),
+        axes={"params.load_balance": [False, True], "seed": list(seeds)},
+        scale=scale,
+    )
+    run = runner.run(spec)
+
+    def extract(point, result):
+        x = 1.0 if point.axes["params.load_balance"] else 0.0
+        death = (
+            result.first_death_s
+            if result.first_death_s is not None
+            else point.config.sim_time_s
+        )
+        return [
+            ("first_death_s", x, death),
+            ("alive_end", x, result.alive_fraction.last()),
+            ("aen_end", x, result.aen.last()),
+        ]
+
+    return _assemble(
+        "ablation-loadbalance",
+        "ECGRID with/without load-balance gateway rotation",
+        "load_balance",
+        "seconds / fraction",
+        run,
+        extract,
+        seeds,
+    )
+
+
+def _ablation_search(
+    runner, speed, scale, seeds,
+    policies: Sequence[str] = ("bbox", "bbox_margin", "global"),
+) -> FigureData:
+    """§3.3's search-area confinement (the RREQ `range` field): the
+    bounding rectangle suppresses the broadcast storm; the margin ring
+    buys robustness to stale location info; `global` is plain AODV-ish
+    flooding over gateways."""
+    policies = list(policies)
+    spec = SweepSpec(
+        name="ablation-search",
+        base=ExperimentConfig(
+            protocol="ecgrid", max_speed_mps=speed, pause_time_s=0.0
+        ),
+        axes={"params.search_policy": policies, "seed": list(seeds)},
+        scale=scale,
+    )
+    run = runner.run(spec)
+
+    def extract(point, result):
+        x = float(policies.index(point.axes["params.search_policy"]))
+        return [
+            ("rreq_forwarded", x, float(result.counters.get("rreq_forwarded", 0))),
+            ("delivery_pct", x, result.delivery_rate * 100.0),
+            ("latency_ms", x, result.mean_latency_s * 1000.0),
+        ]
+
+    return _assemble(
+        "ablation-search",
+        f"RREQ confinement policies {tuple(policies)}",
+        "policy index",
+        "count / % / ms",
+        run,
+        extract,
+        seeds,
+    )
+
+
+def _ablation_gridsize(
+    runner, speed, scale, seeds,
+    sides: Sequence[float] = (50.0, 80.0, 100.0, 117.0),
+) -> FigureData:
+    """Grid side d vs the sqrt(2)r/3 bound: smaller cells mean more
+    gateways awake (less saving); the bound maximizes sleepers while
+    keeping gateway-to-gateway reachability."""
+    spec = SweepSpec(
+        name="ablation-gridsize",
+        base=ExperimentConfig(
+            protocol="ecgrid", max_speed_mps=speed, pause_time_s=0.0
+        ),
+        axes={"cell_side_m": list(sides), "seed": list(seeds)},
+        scale=scale,
+    )
+    run = runner.run(spec)
+
+    def extract(point, result):
+        side = point.axes["cell_side_m"]
+        return [
+            ("alive_end", side, result.alive_fraction.last()),
+            ("aen_end", side, result.aen.last()),
+            ("delivery_pct", side, result.delivery_rate * 100.0),
+        ]
+
+    return _assemble(
+        "ablation-gridsize",
+        "ECGRID grid-side sweep (bound: sqrt(2)*250/3 = 117.85 m)",
+        "cell side (m)",
+        "fraction / %",
+        run,
+        extract,
+        seeds,
+    )
+
+
+#: Every regenerable figure, keyed by its canonical (CLI) name.  Each
+#: entry is ``impl(runner, speed, scale, seeds, **axes) -> FigureData``.
+FIGURES: Dict[str, Callable[..., FigureData]] = {
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "ablation-hello": _ablation_hello,
+    "ablation-loadbalance": _ablation_loadbalance,
+    "ablation-search": _ablation_search,
+    "ablation-gridsize": _ablation_gridsize,
+}
+
+
+def figure(
+    name: str,
+    *,
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    seeds: int = 1,
+    runner: Optional[SweepRunner] = None,
+    **axes,
+) -> FigureData:
+    """Regenerate any registered figure through the sweep engine.
+
+    ``seeds=N`` replicates the grid over seeds ``seed .. seed+N-1`` and
+    reduces curves to mean ± stddev.  ``runner`` selects parallelism
+    and caching (default: inline serial, uncached).  Remaining keyword
+    arguments are figure-specific axes (``protocols=``, ``densities=``,
+    ``pauses=``, ``periods=``, ``policies=``, ``sides=``).
     """
-    if pauses is None:
-        pauses = [p * scale for p in (0, 100, 200, 300, 400, 500, 600)]
-    horizon = 590.0 * scale
-    out: Dict[Tuple[str, float], ExperimentResult] = {}
-    for proto in protocols:
-        for pause in pauses:
-            cfg = _base(
-                speed,
-                scale,
-                seed,
-                protocol=proto,
-                pause_time_s=0.0,
-            )
-            cfg = replace(cfg, pause_time_s=pause, sim_time_s=horizon)
-            out[(proto, pause)] = run_experiment(cfg)
-    return out
+    key = name.replace("_", "-")
+    if key not in FIGURES:
+        raise ValueError(
+            f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
+        )
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    seed_list = list(range(seed, seed + seeds))
+    fig = FIGURES[key](
+        _default_runner(runner), speed, scale, seed_list, **axes
+    )
+    if len(seed_list) > 1:
+        fig.title += f"  (mean of {len(seed_list)} seeds)"
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Deprecated per-figure wrappers (pre-registry API)
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.experiments.figures.{old}() is deprecated; "
+        f"use figure({new!r}, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def fig4(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    runs: Optional[Dict[str, ExperimentResult]] = None,
+) -> FigureData:
+    _deprecated("fig4", "fig4")
+    if runs is not None:
+        return FigureData(
+            "fig4",
+            f"Fraction of alive hosts vs time (speed {speed} m/s)",
+            "t(s)",
+            "alive fraction",
+            {p: list(r.alive_fraction) for p, r in runs.items()},
+            runs,
+        )
+    return figure("fig4", speed=speed, scale=scale, seed=seed)
+
+
+def fig5(
+    speed: float = 1.0,
+    scale: float = 1.0,
+    seed: int = 1,
+    runs: Optional[Dict[str, ExperimentResult]] = None,
+) -> FigureData:
+    _deprecated("fig5", "fig5")
+    if runs is not None:
+        return FigureData(
+            "fig5",
+            f"Mean energy consumption per host (aen) vs time (speed {speed} m/s)",
+            "t(s)",
+            "aen",
+            {p: list(r.aen) for p, r in runs.items()},
+            runs,
+        )
+    return figure("fig5", speed=speed, scale=scale, seed=seed)
+
+
+def _pause_scatter(
+    runs: Dict[Tuple[str, float], ExperimentResult],
+    readout: Callable[[ExperimentResult], float],
+) -> Dict[str, Series]:
+    series: Dict[str, Series] = {}
+    for (proto, pause), r in runs.items():
+        series.setdefault(proto, []).append((pause, readout(r)))
+    for s in series.values():
+        s.sort()
+    return series
 
 
 def fig6(
@@ -150,20 +589,17 @@ def fig6(
     seed: int = 1,
     runs: Optional[Dict[Tuple[str, float], ExperimentResult]] = None,
 ) -> FigureData:
-    runs = runs or pause_sweep_runs(speed, scale, seed)
-    series: Dict[str, Series] = {}
-    for (proto, pause), r in runs.items():
-        series.setdefault(proto, []).append((pause, r.mean_latency_s * 1000.0))
-    for s in series.values():
-        s.sort()
-    return FigureData(
-        "fig6",
-        f"Packet delivery latency vs pause time (speed {speed} m/s)",
-        "pause(s)",
-        "latency (ms)",
-        series,
-        {f"{p}@{t:.0f}": r for (p, t), r in runs.items()},
-    )
+    _deprecated("fig6", "fig6")
+    if runs is not None:
+        return FigureData(
+            "fig6",
+            f"Packet delivery latency vs pause time (speed {speed} m/s)",
+            "pause(s)",
+            "latency (ms)",
+            _pause_scatter(runs, lambda r: r.mean_latency_s * 1000.0),
+            {f"{p}@{t:.0f}": r for (p, t), r in runs.items()},
+        )
+    return figure("fig6", speed=speed, scale=scale, seed=seed)
 
 
 def fig7(
@@ -172,25 +608,19 @@ def fig7(
     seed: int = 1,
     runs: Optional[Dict[Tuple[str, float], ExperimentResult]] = None,
 ) -> FigureData:
-    runs = runs or pause_sweep_runs(speed, scale, seed)
-    series: Dict[str, Series] = {}
-    for (proto, pause), r in runs.items():
-        series.setdefault(proto, []).append((pause, r.delivery_rate * 100.0))
-    for s in series.values():
-        s.sort()
-    return FigureData(
-        "fig7",
-        f"Packet delivery rate vs pause time (speed {speed} m/s)",
-        "pause(s)",
-        "delivery (%)",
-        series,
-        {f"{p}@{t:.0f}": r for (p, t), r in runs.items()},
-    )
+    _deprecated("fig7", "fig7")
+    if runs is not None:
+        return FigureData(
+            "fig7",
+            f"Packet delivery rate vs pause time (speed {speed} m/s)",
+            "pause(s)",
+            "delivery (%)",
+            _pause_scatter(runs, lambda r: r.delivery_rate * 100.0),
+            {f"{p}@{t:.0f}": r for (p, t), r in runs.items()},
+        )
+    return figure("fig7", speed=speed, scale=scale, seed=seed)
 
 
-# ----------------------------------------------------------------------
-# Figure 8: alive fraction vs time across host densities
-# ----------------------------------------------------------------------
 def fig8(
     speed: float = 1.0,
     scale: float = 1.0,
@@ -198,53 +628,22 @@ def fig8(
     densities: Sequence[int] = (50, 100, 150, 200),
     protocols: Sequence[str] = ("grid", "ecgrid"),
 ) -> FigureData:
-    series: Dict[str, Series] = {}
-    results: Dict[str, ExperimentResult] = {}
-    for proto in protocols:
-        for n in densities:
-            cfg = _base(speed, scale, seed, protocol=proto, n_hosts=n)
-            label = f"{proto}-n{max(8, round(n * scale))}"
-            r = run_experiment(cfg)
-            series[label] = list(r.alive_fraction)
-            results[label] = r
-    return FigureData(
-        "fig8",
-        f"Alive hosts vs time across host density (speed {speed} m/s)",
-        "t(s)",
-        "alive fraction",
-        series,
-        results,
+    _deprecated("fig8", "fig8")
+    return figure(
+        "fig8", speed=speed, scale=scale, seed=seed,
+        densities=densities, protocols=protocols,
     )
 
 
-# ----------------------------------------------------------------------
-# Ablations (design choices §3 calls out)
-# ----------------------------------------------------------------------
 def ablation_hello(
     periods: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     speed: float = 1.0,
     scale: float = 1.0,
     seed: int = 1,
 ) -> FigureData:
-    """§4A attributes ECGRID's gap to GAF to HELLO overhead: sweep the
-    HELLO period and watch energy vs responsiveness trade."""
-    series: Dict[str, Series] = {"aen_end": [], "delivery_pct": [], "hello_sent": []}
-    results: Dict[str, ExperimentResult] = {}
-    for period in periods:
-        cfg = _base(speed, scale, seed, protocol="ecgrid")
-        cfg.params = replace(cfg.params, hello_period_s=period)
-        r = run_experiment(cfg)
-        series["aen_end"].append((period, r.aen.last()))
-        series["delivery_pct"].append((period, r.delivery_rate * 100.0))
-        series["hello_sent"].append((period, float(r.counters.get("hello_sent", 0))))
-        results[f"hello={period}"] = r
-    return FigureData(
-        "ablation-hello",
-        "ECGRID HELLO-period sweep",
-        "hello period (s)",
-        "aen / delivery% / count",
-        series,
-        results,
+    _deprecated("ablation_hello", "ablation-hello")
+    return figure(
+        "ablation-hello", speed=speed, scale=scale, seed=seed, periods=periods
     )
 
 
@@ -253,28 +652,8 @@ def ablation_loadbalance(
     scale: float = 1.0,
     seed: int = 1,
 ) -> FigureData:
-    """§3.2's load-balance rotation: does disabling it concentrate
-    drain on long-lived gateways (earlier first death)?"""
-    series: Dict[str, Series] = {"first_death_s": [], "alive_end": [], "aen_end": []}
-    results: Dict[str, ExperimentResult] = {}
-    for flag in (False, True):
-        cfg = _base(speed, scale, seed, protocol="ecgrid")
-        cfg.params = replace(cfg.params, load_balance=flag)
-        r = run_experiment(cfg)
-        x = 1.0 if flag else 0.0
-        death = r.first_death_s if r.first_death_s is not None else cfg.sim_time_s
-        series["first_death_s"].append((x, death))
-        series["alive_end"].append((x, r.alive_fraction.last()))
-        series["aen_end"].append((x, r.aen.last()))
-        results[f"load_balance={flag}"] = r
-    return FigureData(
-        "ablation-loadbalance",
-        "ECGRID with/without load-balance gateway rotation",
-        "load_balance",
-        "seconds / fraction",
-        series,
-        results,
-    )
+    _deprecated("ablation_loadbalance", "ablation-loadbalance")
+    return figure("ablation-loadbalance", speed=speed, scale=scale, seed=seed)
 
 
 def ablation_search_policy(
@@ -283,32 +662,10 @@ def ablation_search_policy(
     scale: float = 1.0,
     seed: int = 1,
 ) -> FigureData:
-    """§3.3's search-area confinement (the RREQ `range` field): the
-    bounding rectangle suppresses the broadcast storm; the margin ring
-    buys robustness to stale location info; `global` is plain AODV-ish
-    flooding over gateways."""
-    series: Dict[str, Series] = {
-        "rreq_forwarded": [], "delivery_pct": [], "latency_ms": []
-    }
-    results: Dict[str, ExperimentResult] = {}
-    for i, policy in enumerate(policies):
-        cfg = _base(speed, scale, seed, protocol="ecgrid")
-        cfg.params = replace(cfg.params, search_policy=policy)
-        r = run_experiment(cfg)
-        x = float(i)
-        series["rreq_forwarded"].append(
-            (x, float(r.counters.get("rreq_forwarded", 0)))
-        )
-        series["delivery_pct"].append((x, r.delivery_rate * 100.0))
-        series["latency_ms"].append((x, r.mean_latency_s * 1000.0))
-        results[policy] = r
-    return FigureData(
-        "ablation-search",
-        f"RREQ confinement policies {tuple(policies)}",
-        "policy index",
-        "count / % / ms",
-        series,
-        results,
+    _deprecated("ablation_search_policy", "ablation-search")
+    return figure(
+        "ablation-search", speed=speed, scale=scale, seed=seed,
+        policies=policies,
     )
 
 
@@ -318,24 +675,7 @@ def ablation_gridsize(
     scale: float = 1.0,
     seed: int = 1,
 ) -> FigureData:
-    """Grid side d vs the sqrt(2)r/3 bound: smaller cells mean more
-    gateways awake (less saving); the bound maximizes sleepers while
-    keeping gateway-to-gateway reachability."""
-    series: Dict[str, Series] = {"alive_end": [], "aen_end": [], "delivery_pct": []}
-    results: Dict[str, ExperimentResult] = {}
-    for side in sides:
-        cfg = _base(speed, scale, seed, protocol="ecgrid")
-        cfg = replace(cfg, cell_side_m=side)
-        r = run_experiment(cfg)
-        series["alive_end"].append((side, r.alive_fraction.last()))
-        series["aen_end"].append((side, r.aen.last()))
-        series["delivery_pct"].append((side, r.delivery_rate * 100.0))
-        results[f"d={side}"] = r
-    return FigureData(
-        "ablation-gridsize",
-        "ECGRID grid-side sweep (bound: sqrt(2)*250/3 = 117.85 m)",
-        "cell side (m)",
-        "fraction / %",
-        series,
-        results,
+    _deprecated("ablation_gridsize", "ablation-gridsize")
+    return figure(
+        "ablation-gridsize", speed=speed, scale=scale, seed=seed, sides=sides
     )

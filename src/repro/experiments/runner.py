@@ -94,6 +94,9 @@ class ExperimentResult:
     counters: Dict[str, int] = field(default_factory=dict)
     medium: Dict[str, int] = field(default_factory=dict)
     events_executed: int = 0
+    #: Wall clock of the event loop alone, measured inside whichever
+    #: process executed the run — never includes scenario construction,
+    #: process-pool dispatch, or result-cache overhead.
     wall_time_s: float = 0.0
 
     # -- figure readouts -------------------------------------------------
@@ -139,8 +142,8 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Execute one full scenario and reduce it to a result record."""
-    t0 = time.perf_counter()
     network = build_network(config)
+    t0 = time.perf_counter()
     network.run(until=config.sim_time_s)
     wall = time.perf_counter() - t0
 
