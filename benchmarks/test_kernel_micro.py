@@ -1,0 +1,46 @@
+"""M2: kernel throughput regression guard against ``BENCH_kernel.json``.
+
+Replays the pinned ``micro-120`` scenario (see
+:mod:`repro.perf.bench`) and fails if events/sec dropped more than 20%
+below the most recent record in the repository's bench trajectory file.
+Skips when no record exists — first run on a fresh machine should be
+``ecgrid bench`` to establish the local baseline, since absolute
+events/sec is only comparable on the same hardware.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_micro.py -q
+"""
+
+import os
+
+import pytest
+
+from repro.perf import bench
+
+#: The trajectory file lives at the repository root.
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    bench.DEFAULT_PATH,
+)
+
+#: Allowed slowdown vs the latest record (wall-clock noise margin).
+TOLERANCE = 0.20
+
+
+def test_kernel_micro_within_tolerance_of_latest_record():
+    latest = bench.latest_for("micro-120", path=BENCH_PATH)
+    if latest is None:
+        pytest.skip(
+            "no micro-120 record in BENCH_kernel.json; run `ecgrid bench` "
+            "to establish a local baseline"
+        )
+    measured = bench.run_scenario("micro-120")
+    # Determinism cross-check: the event count is hardware-independent.
+    assert measured["events"] == latest["events"]
+    floor = (1.0 - TOLERANCE) * latest["events_per_sec"]
+    assert measured["events_per_sec"] >= floor, (
+        f"kernel regressed: {measured['events_per_sec']:,.0f} ev/s vs "
+        f"recorded {latest['events_per_sec']:,.0f} ev/s "
+        f"(floor {floor:,.0f})"
+    )

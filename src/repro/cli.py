@@ -26,6 +26,7 @@ from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.config import ExperimentConfig, PROTOCOLS
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweep import SweepRunner
+from repro.perf import bench as bench_mod
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -101,6 +102,33 @@ def main(argv=None) -> int:
     run_p.add_argument("--energy", type=float, default=500.0)
     run_p.add_argument("--area", type=float, default=1000.0)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="attach the kernel profiler and print its per-category report",
+    )
+    run_p.add_argument(
+        "--cprofile", metavar="FILE", default=None,
+        help="also collect a cProfile trace and dump pstats to FILE "
+        "(implies --profile)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the pinned kernel benchmark and append to BENCH_kernel.json",
+    )
+    bench_p.add_argument(
+        "--scenario", action="append", choices=sorted(bench_mod.REFERENCE_SCENARIOS),
+        help="pinned scenario to run (repeatable; default: all)",
+    )
+    bench_p.add_argument("--label", default="", help="free-form record label")
+    bench_p.add_argument(
+        "--output", default=bench_mod.DEFAULT_PATH,
+        help=f"trajectory file to append to (default: {bench_mod.DEFAULT_PATH})",
+    )
+    bench_p.add_argument(
+        "--no-append", action="store_true",
+        help="print the record without touching the trajectory file",
+    )
 
     for name in figures.FIGURES:
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
@@ -162,8 +190,30 @@ def main(argv=None) -> int:
             height_m=args.area,
             seed=args.seed,
         )
-        result = run_experiment(cfg)
+        instruments = ()
+        profiler = None
+        if args.profile or args.cprofile:
+            from repro.perf import KernelProfiler
+
+            profiler = KernelProfiler(cprofile=args.cprofile is not None)
+            instruments = (profiler,)
+        result = run_experiment(cfg, instruments=instruments)
         print(result.summary())
+        if profiler is not None:
+            print()
+            print(profiler.report())
+            if args.cprofile:
+                profiler.dump_cprofile(args.cprofile)
+                print(f"wrote cProfile stats to {args.cprofile}")
+        return 0
+
+    if args.command == "bench":
+        names = args.scenario or sorted(bench_mod.REFERENCE_SCENARIOS)
+        record = bench_mod.make_record(scenarios=names, label=args.label)
+        print(bench_mod.format_record(record))
+        if not args.no_append:
+            bench_mod.append_record(record, args.output)
+            print(f"appended to {args.output}")
         return 0
 
     fig = _figure(args.command, args)

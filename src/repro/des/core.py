@@ -3,10 +3,19 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.des.event import Event, EventHandle
 from repro.des.rng import RngStreams
+
+#: A calendar entry.  The heap holds ``(time, priority, seq, event)``
+#: tuples rather than bare events so every sift comparison is a C-level
+#: tuple comparison instead of a Python ``Event.__lt__`` call — on busy
+#: scenarios the calendar does millions of comparisons, and this is one
+#: of the kernel's hottest paths.  ``seq`` is unique, so comparisons
+#: never reach the event object and the pop order is exactly the
+#: ``(time, priority, seq)`` total order that :class:`Event` defines.
+_Entry = Tuple[float, int, int, Event]
 
 
 class SimulationError(RuntimeError):
@@ -16,7 +25,7 @@ class SimulationError(RuntimeError):
 class Simulator:
     """A discrete-event simulator.
 
-    The calendar is a binary heap of :class:`Event` records with lazy
+    The calendar is a binary heap of :data:`_Entry` records with lazy
     cancellation.  All model components share one simulator instance and
     one :class:`RngStreams` bundle, so a whole scenario is a deterministic
     function of its seed.
@@ -29,6 +38,13 @@ class Simulator:
     higher values for bookkeeping that must observe same-instant effects
     (e.g. metric sampling uses priority 100 so a sample at time t sees
     every state change that happened *at* t).
+
+    Instrumentation
+    ---------------
+    :meth:`instrument` attaches a dispatch observer (profiler, trace
+    recorder).  The run loop is duplicated — a bare fast path and an
+    instrumented path — so measurement costs nothing when disabled and
+    the observed dispatch order is identical either way.
     """
 
     #: Compaction trigger: queues above this size are scanned, and if
@@ -38,13 +54,17 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.rng = RngStreams(seed)
-        self._queue: List[Event] = []
+        self._queue: List[_Entry] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
         self._events_executed: int = 0
         self._compactions: int = 0
         self._next_compact_check = self.COMPACT_THRESHOLD
+        self._instruments: List[Any] = []
+        #: Largest calendar size ever observed (includes cancelled
+        #: entries awaiting lazy deletion).
+        self.heap_high_water: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -63,8 +83,12 @@ class Simulator:
             )
         self._seq += 1
         event = Event(time, priority, self._seq, fn, args)
-        heapq.heappush(self._queue, event)
-        if len(self._queue) >= self._next_compact_check:
+        queue = self._queue
+        heapq.heappush(queue, (time, priority, self._seq, event))
+        n = len(queue)
+        if n > self.heap_high_water:
+            self.heap_high_water = n
+        if n >= self._next_compact_check:
             self._maybe_compact()
         return EventHandle(event)
 
@@ -80,10 +104,13 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         return self.at(self.now + delay, fn, *args, priority=priority)
 
-    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def call_soon(
+        self, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> EventHandle:
         """Schedule ``fn(*args)`` at the current instant (after the
-        currently executing event returns)."""
-        return self.at(self.now, fn, *args)
+        currently executing event returns).  ``priority`` orders it
+        against other events booked for the same instant."""
+        return self.at(self.now, fn, *args, priority=priority)
 
     def _maybe_compact(self) -> None:
         """Rebuild the heap without cancelled events when they dominate.
@@ -93,7 +120,7 @@ class Simulator:
         arrives.  Amortized cost: one O(n) sweep per doubling.
         """
         queue = self._queue
-        live = [e for e in queue if not e.cancelled]
+        live = [entry for entry in queue if not entry[3].cancelled]
         if len(live) <= len(queue) // 2:
             heapq.heapify(live)
             self._queue = live
@@ -117,32 +144,67 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
-        queue = self._queue
         try:
-            while queue and not self._stopped:
-                event = queue[0]
-                if event.cancelled:
-                    heapq.heappop(queue)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(queue)
-                self.now = event.time
-                self._events_executed += 1
-                event.fn(*event.args)
+            if self._instruments:
+                self._run_instrumented(until)
+            else:
+                self._run_fast(until)
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:
             self._running = False
 
+    def _run_fast(self, until: Optional[float]) -> None:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and not self._stopped:
+            entry = queue[0]
+            event = entry[3]
+            if event.cancelled:
+                pop(queue)
+                continue
+            if until is not None and entry[0] > until:
+                break
+            pop(queue)
+            self.now = entry[0]
+            self._events_executed += 1
+            event.fn(*event.args)
+
+    def _run_instrumented(self, until: Optional[float]) -> None:
+        """Identical dispatch order to :meth:`_run_fast`, plus per-event
+        notification of every attached instrument."""
+        from time import perf_counter
+
+        queue = self._queue
+        pop = heapq.heappop
+        instruments = self._instruments
+        while queue and not self._stopped:
+            entry = queue[0]
+            event = entry[3]
+            if event.cancelled:
+                pop(queue)
+                continue
+            if until is not None and entry[0] > until:
+                break
+            pop(queue)
+            self.now = entry[0]
+            self._events_executed += 1
+            t0 = perf_counter()
+            event.fn(*event.args)
+            elapsed = perf_counter() - t0
+            qlen = len(queue)
+            for inst in instruments:
+                inst.on_dispatch(event, elapsed, qlen)
+
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none."""
         queue = self._queue
         while queue:
-            event = heapq.heappop(queue)
+            entry = heapq.heappop(queue)
+            event = entry[3]
             if event.cancelled:
                 continue
-            self.now = event.time
+            self.now = entry[0]
             self._events_executed += 1
             event.fn(*event.args)
             return True
@@ -151,6 +213,27 @@ class Simulator:
     def stop(self) -> None:
         """Stop a running :meth:`run` after the current event."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def instrument(self, observer: Any) -> None:
+        """Attach a dispatch observer.
+
+        ``observer.on_dispatch(event, elapsed_s, queue_len)`` is invoked
+        after every executed event while attached.  Attaching switches
+        :meth:`run` onto the instrumented loop; the dispatch *order* is
+        unaffected, only wall time is (timing + notification overhead).
+        """
+        if observer not in self._instruments:
+            self._instruments.append(observer)
+
+    def uninstrument(self, observer: Any) -> None:
+        """Detach a previously attached observer (no-op if absent)."""
+        try:
+            self._instruments.remove(observer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Introspection
@@ -166,8 +249,16 @@ class Simulator:
         return self._events_executed
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None if the calendar is empty."""
+        """Time of the next live event, or None if the calendar is empty.
+
+        Side effect (deliberate): cancelled events sitting at the head
+        of the calendar are popped and discarded while peeking, so
+        ``pending`` may shrink.  This keeps the peek O(k log n) in the
+        number of cancelled heads instead of O(n), and disposing of a
+        cancelled head early is always safe — it could never fire.  The
+        next *live* event is never removed.
+        """
         queue = self._queue
-        while queue and queue[0].cancelled:
+        while queue and queue[0][3].cancelled:
             heapq.heappop(queue)
-        return queue[0].time if queue else None
+        return queue[0][0] if queue else None

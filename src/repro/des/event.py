@@ -13,6 +13,11 @@ class Event:
     makes the execution order a deterministic total order regardless of
     heap internals, which is what makes whole simulations reproducible
     from a seed.
+
+    The calendar heap stores ``(time, priority, seq, event)`` tuples so
+    heap sifts compare at C speed; ``__lt__`` implements the same total
+    order for direct comparisons (tests, debugging) and is kept in
+    lockstep with the tuple key.
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")

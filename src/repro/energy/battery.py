@@ -17,32 +17,28 @@ class Battery:
     depletes and always reports full.
     """
 
-    __slots__ = ("capacity_j", "_remaining", "_draw_w", "_last_t", "_depleted")
+    __slots__ = ("capacity_j", "infinite", "depleted", "_remaining", "_draw_w", "_last_t")
 
     def __init__(self, capacity_j: float, initial_j: float | None = None) -> None:
         if capacity_j <= 0:
             raise ValueError("capacity must be positive")
         self.capacity_j = capacity_j
+        #: Plain attributes, not properties: ``set_draw`` runs for every
+        #: radio mode flip (hundreds of thousands per simulation) and
+        #: descriptor dispatch was a visible slice of its cost.
+        self.infinite = math.isinf(capacity_j)
         self._remaining = capacity_j if initial_j is None else initial_j
         if self._remaining < 0 or self._remaining > capacity_j:
             raise ValueError("initial charge outside [0, capacity]")
         self._draw_w = 0.0
         self._last_t = 0.0
-        self._depleted = self._remaining == 0.0
+        self.depleted = self._remaining == 0.0
 
     # ------------------------------------------------------------------
-    @property
-    def infinite(self) -> bool:
-        return math.isinf(self.capacity_j)
-
     @property
     def draw_w(self) -> float:
         """Current draw in watts."""
         return self._draw_w
-
-    @property
-    def depleted(self) -> bool:
-        return self._depleted
 
     def _settle(self, now: float) -> None:
         """Charge the elapsed interval against the store."""
@@ -55,7 +51,7 @@ class Battery:
         self._remaining -= spent
         if self._remaining <= 1e-12:
             self._remaining = 0.0
-            self._depleted = True
+            self.depleted = True
         self._last_t = now
 
     def settle(self, now: float) -> None:
@@ -66,17 +62,31 @@ class Battery:
     # ------------------------------------------------------------------
     def set_draw(self, watts: float, now: float) -> None:
         """Account for the interval since the last change, then switch
-        the draw to ``watts``."""
+        the draw to ``watts``.
+
+        The settle is inlined (same arithmetic, same rounding as
+        :meth:`_settle`) — this is the hottest battery entry point.
+        """
         if watts < 0:
             raise ValueError("draw cannot be negative")
-        self._settle(now)
+        last = self._last_t
+        if now < last:
+            raise ValueError(f"time went backwards: {now} < {last}")
+        if self.infinite:
+            self._last_t = now
+        else:
+            self._remaining -= self._draw_w * (now - last)
+            if self._remaining <= 1e-12:
+                self._remaining = 0.0
+                self.depleted = True
+            self._last_t = now
         self._draw_w = watts
 
     def remaining_at(self, now: float) -> float:
         """Joules remaining at ``now`` (extrapolating the current draw)."""
         if self.infinite:
             return math.inf
-        if self._depleted:
+        if self.depleted:
             return 0.0
         rem = self._remaining - self._draw_w * (now - self._last_t)
         return max(rem, 0.0)
@@ -104,7 +114,7 @@ class Battery:
         """Seconds until depletion at the current draw (inf if never)."""
         if self.infinite:
             return math.inf
-        if self._depleted:
+        if self.depleted:
             return 0.0
         if self._draw_w == 0.0:
             return math.inf

@@ -140,11 +140,18 @@ class ExperimentResult:
         return "-" if t is None else f"{t:.0f}s"
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one full scenario and reduce it to a result record."""
+def run_experiment(
+    config: ExperimentConfig, instruments=()
+) -> ExperimentResult:
+    """Execute one full scenario and reduce it to a result record.
+
+    ``instruments`` are attached to the event loop for the run (see
+    :meth:`Network.run`); profiling a run changes its wall time but
+    never its dispatch order or metrics.
+    """
     network = build_network(config)
     t0 = time.perf_counter()
-    network.run(until=config.sim_time_s)
+    network.run(until=config.sim_time_s, instruments=instruments)
     wall = time.perf_counter() - t0
 
     log = network.packet_log

@@ -231,10 +231,11 @@ class CsmaMac:
     # Receive path
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Any, sender_id: int) -> None:
-        if isinstance(frame, AckFrame):
-            self._on_ack(frame)
-            return
+        # Data frames outnumber ACKs by more than an order of
+        # magnitude; test for them first.
         if not isinstance(frame, Frame):
+            if isinstance(frame, AckFrame):
+                self._on_ack(frame)
             return
         if frame.dst != BROADCAST and frame.dst != self.radio.node_id:
             return  # overheard; energy already charged by the medium

@@ -48,6 +48,17 @@ class MobilityModel:
         self._segments: List[Segment] = []
         self._cursor = 0
         self._start_time = start_time
+        # Hot-path caches.  Both are pure memoization: a trajectory is
+        # an immutable function of time (segments are append-only), so
+        # caching can never change a query result — only skip the
+        # segment walk and the Vec2 allocation.  The wireless medium
+        # queries every neighbor's position at the same ``sim.now``
+        # several times per transmission, which makes ``position()``
+        # one of the hottest calls of a whole simulation.
+        self._active_seg: Optional[Segment] = None
+        self._active_idx: int = 0
+        self._memo_t: float = math.nan
+        self._memo_pos: Optional[Vec2] = None
 
     # -- subclass API ---------------------------------------------------
     def _generate_next(self) -> Segment:
@@ -56,7 +67,16 @@ class MobilityModel:
 
     # -- queries --------------------------------------------------------
     def segment_at(self, t: float) -> Segment:
-        """The segment covering time ``t`` (generated on demand)."""
+        """The segment covering time ``t`` (generated on demand).
+
+        At an exact boundary ``t == seg.t1 == next.t0`` the *earlier*
+        segment is returned (the cached fast path is strict on ``t0``
+        to preserve exactly that convention).
+        """
+        seg = self._active_seg
+        if seg is not None and seg.t0 < t <= seg.t1:
+            self._cursor = self._active_idx
+            return seg
         if t < self._start_time:
             raise ValueError(f"t={t} precedes trajectory start {self._start_time}")
         segs = self._segments
@@ -71,7 +91,10 @@ class MobilityModel:
             if i == len(segs):
                 segs.append(self._generate_next())
         self._cursor = i
-        return segs[i]
+        seg = segs[i]
+        self._active_seg = seg
+        self._active_idx = i
+        return seg
 
     def iter_segments(self, t: float) -> Iterator[Segment]:
         """Yield the segment at ``t`` and every following segment."""
@@ -86,7 +109,24 @@ class MobilityModel:
                 self._segments.append(self._generate_next())
 
     def position(self, t: float) -> Vec2:
-        return self.segment_at(t).position(t)
+        # Memoized per query time: neighbor loops in the PHY ask every
+        # radio for its position at the same ``sim.now`` repeatedly.
+        # The active-segment fast path of ``segment_at`` is inlined —
+        # this is the single most-called query of a simulation.
+        if t == self._memo_t:
+            return self._memo_pos  # type: ignore[return-value]
+        seg = self._active_seg
+        if seg is not None and seg.t0 < t <= seg.t1:
+            self._cursor = self._active_idx
+        else:
+            seg = self.segment_at(t)
+        dt = t - seg.t0
+        p0 = seg.p0
+        v = seg.v
+        pos = Vec2(p0.x + v.x * dt, p0.y + v.y * dt)
+        self._memo_t = t
+        self._memo_pos = pos
+        return pos
 
     def velocity(self, t: float) -> Vec2:
         return self.segment_at(t).v

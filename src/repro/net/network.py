@@ -166,9 +166,34 @@ class Network:
         for node in self.nodes:
             node.start()
 
-    def run(self, until: float) -> None:
+    def run(self, until: float, instruments: Sequence[object] = ()) -> None:
+        """Run the scenario to ``until``.
+
+        ``instruments`` (profilers, trace recorders — anything with an
+        ``on_dispatch`` method, see :meth:`Simulator.instrument`) are
+        attached for the duration of the event loop only; the final
+        metric sample below is outside their window.  Optional
+        ``on_run_begin(sim)`` / ``on_run_end(sim, wall_s)`` hooks
+        bracket the loop with its wall time.
+        """
+        import time as _time
+
         self.start()
-        self.sim.run(until=until)
+        for inst in instruments:
+            self.sim.instrument(inst)
+            begin = getattr(inst, "on_run_begin", None)
+            if begin is not None:
+                begin(self.sim)
+        t0 = _time.perf_counter()
+        try:
+            self.sim.run(until=until)
+        finally:
+            wall = _time.perf_counter() - t0
+            for inst in instruments:
+                end = getattr(inst, "on_run_end", None)
+                if end is not None:
+                    end(self.sim, wall)
+                self.sim.uninstrument(inst)
         self.sampler.sample()
 
     # ------------------------------------------------------------------

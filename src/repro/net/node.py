@@ -64,7 +64,9 @@ class Node:
             on_level_change=self._on_level_change,
             max_draw_w=profile.total_power(RadioMode.TX),
         )
-        self.radio = Radio(node_id, self.position, profile, self.monitor)
+        self.radio = Radio(
+            node_id, self.position, profile, self.monitor, mobility=mobility
+        )
         self.mac = CsmaMac(
             sim,
             self.radio,
@@ -147,7 +149,7 @@ class Node:
         if self.alive and not self.battery.infinite:
             self.battery.settle(self.sim.now)
             self.battery._remaining = 0.0
-            self.battery._depleted = True
+            self.battery.depleted = True
         self._on_depleted()
 
     # ------------------------------------------------------------------

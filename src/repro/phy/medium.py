@@ -20,10 +20,12 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.des.core import Simulator
+from repro.energy.profile import RadioMode
 from repro.geo.grid import GridCoord, GridMap
 from repro.geo.vector import Vec2
 from repro.phy.radio import Radio
@@ -71,13 +73,17 @@ class _Reception:
 
 
 class _Transmission:
-    __slots__ = ("sender", "pos", "end_time", "receptions")
+    __slots__ = ("sender", "pos", "end_time", "receptions", "index")
 
     def __init__(self, sender: Radio, pos: Vec2, end_time: float) -> None:
         self.sender = sender
         self.pos = pos
         self.end_time = end_time
         self.receptions: List[_Reception] = []
+        #: Slot in ``Medium._active`` (maintained for O(1) swap-pop
+        #: removal; carrier sense only ever reduces the list to a
+        #: boolean, so the order perturbation is observable nowhere).
+        self.index = -1
 
 
 @dataclass
@@ -101,10 +107,16 @@ class Medium:
         self.grid = grid
         self.config = config or MediumConfig()
         self.stats = MediumStats()
-        #: How many bucket rings cover the radio range.
-        self._ring = max(
-            1, -(-int(self.config.range_m) // max(1, int(grid.cell_side)))
-        )
+        #: How many bucket rings cover the radio range.  Computed on the
+        #: *float* values: integer truncation under-covered the fringe
+        #: for non-integer radii (e.g. radius 300.2 m on 100 m cells
+        #: needs 4 rings, not 3).
+        self._ring = self._rings_for(self.config.range_m)
+        #: Ring -> flat (dx, dy) offset list, in the same row-major
+        #: order ``GridMap.cells_within`` yields cells, precomputed once
+        #: instead of regenerated per query.
+        self._offsets: Dict[int, Tuple[GridCoord, ...]] = {}
+        self._ring_offsets = self._pruned_offsets(self._ring, self.config.range_m)
         # Buckets are dicts keyed by node id (insertion-ordered): set
         # iteration order would depend on object addresses and break
         # run-to-run determinism.
@@ -113,6 +125,40 @@ class Medium:
         self._active: List[_Transmission] = []
         self._rx_in_progress: Dict[int, List[_Reception]] = {}
         self._loss_rng = sim.rng.stream("phy-loss")
+
+    def _rings_for(self, radius: float) -> int:
+        """Bucket rings needed so every point within ``radius`` of a
+        point in the center cell lies in a covered cell."""
+        return max(1, math.ceil(radius / self.grid.cell_side))
+
+    def _offsets_for(self, ring: int) -> Tuple[GridCoord, ...]:
+        """Memoized (dx, dy) offsets of the Chebyshev ball of ``ring``."""
+        cached = self._offsets.get(ring)
+        if cached is None:
+            cached = tuple(
+                (dx, dy)
+                for dx in range(-ring, ring + 1)
+                for dy in range(-ring, ring + 1)
+            )
+            self._offsets[ring] = cached
+        return cached
+
+    def _pruned_offsets(
+        self, ring: int, radius: float
+    ) -> Tuple[GridCoord, ...]:
+        """The Chebyshev ball of ``ring`` minus offsets whose cell can
+        never hold a point within ``radius`` of the center cell (the
+        minimum rectangle-to-rectangle gap already exceeds it — e.g. the
+        four ring-3 corner cells for a 250 m range on 100 m cells).
+        Order of the survivors is unchanged."""
+        side = self.grid.cell_side
+        bound = radius * radius * (1.0 + 1e-6)
+        return tuple(
+            (dx, dy)
+            for dx, dy in self._offsets_for(ring)
+            if ((abs(dx) - 1) * side if dx else 0.0) ** 2
+            + ((abs(dy) - 1) * side if dy else 0.0) ** 2 <= bound
+        )
 
     # ------------------------------------------------------------------
     # Membership
@@ -146,36 +192,78 @@ class Medium:
         return wire_bytes * 8.0 / self.config.bandwidth_bps
 
     def radios_near(self, pos: Vec2, radius: float) -> List[Radio]:
-        """All registered radios within ``radius`` of ``pos``."""
+        """All registered radios within ``radius`` of ``pos``.
+
+        Candidate order (hence result order) is row-major over the
+        covering cells — identical to iterating ``cells_within`` — so
+        downstream receiver bookkeeping stays deterministic.
+
+        Whole cells are classified against the disk first: a bucket
+        whose rectangle lies entirely inside ``radius`` contributes all
+        its radios, one entirely outside contributes none — only radios
+        in straddling cells need their position evaluated.  The class
+        thresholds carry a relative guard band of 1e-9 so float rounding
+        in the rectangle bounds can never flip a radio that the exact
+        per-point test would have (in)cluded; guarded cells fall through
+        to the per-point test, which is unchanged.
+        """
         out: List[Radio] = []
-        ring = self._ring if radius <= self.config.range_m else max(
-            1, -(-int(radius) // max(1, int(self.grid.cell_side)))
-        )
-        center = self.grid.cell_of(pos)
+        if radius <= self.config.range_m:
+            offsets = self._ring_offsets
+        else:
+            offsets = self._offsets_for(self._rings_for(radius))
+        cx, cy = self.grid.cell_of(pos)
+        px, py = pos
         r2 = radius * radius
-        for cell in self.grid.cells_within(center, ring):
-            bucket = self._buckets.get(cell)
+        skip2 = r2 * (1.0 + 1e-9)
+        take2 = r2 * (1.0 - 1e-9)
+        side = self.grid.cell_side
+        buckets = self._buckets
+        append = out.append
+        now = self.sim.now
+        for dx, dy in offsets:
+            # Off-map cells simply have no bucket; no clipping needed.
+            bucket = buckets.get((cx + dx, cy + dy))
             if not bucket:
                 continue
+            x0 = (cx + dx) * side
+            y0 = (cy + dy) * side
+            x1 = x0 + side
+            y1 = y0 + side
+            gx = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
+            gy = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
+            if gx * gx + gy * gy > skip2:
+                continue
+            hx = px - x0 if px - x0 > x1 - px else x1 - px
+            hy = py - y0 if py - y0 > y1 - py else y1 - py
+            if hx * hx + hy * hy < take2:
+                out.extend(bucket.values())
+                continue
             for radio in bucket.values():
-                p = radio.position()
-                dx = p.x - pos.x
-                dy = p.y - pos.y
-                if dx * dx + dy * dy <= r2:
-                    out.append(radio)
+                mob = radio.mobility
+                p = mob.position(now) if mob is not None else radio.position()
+                ddx = p[0] - px
+                ddy = p[1] - py
+                if ddx * ddx + ddy * ddy <= r2:
+                    append(radio)
         return out
 
     def channel_busy(self, radio: Radio) -> bool:
         """Carrier sense: is any in-flight transmission audible here?"""
         if not self._active:
             return False
-        pos = radio.position()
+        mob = radio.mobility
+        pos = (
+            mob.position(self.sim.now) if mob is not None else radio.position()
+        )
+        px, py = pos
         sense2 = self.config.sense_range ** 2
         for tx in self._active:
             if tx.sender is radio:
                 return True
-            dx = tx.pos.x - pos.x
-            dy = tx.pos.y - pos.y
+            p = tx.pos
+            dx = p[0] - px
+            dy = p[1] - py
             if dx * dx + dy * dy <= sense2:
                 return True
         return False
@@ -189,63 +277,91 @@ class Medium:
         Delivery (or corruption) resolves at airtime + propagation
         delay via a single completion event.
         """
+        config = self.config
+        stats = self.stats
         duration = self.airtime(wire_bytes)
         pos = sender.position()
         sender.begin_tx()
         tx = _Transmission(sender, pos, self.sim.now + duration)
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += wire_bytes
+        stats.frames_sent += 1
+        stats.bytes_sent += wire_bytes
 
-        for radio in self.radios_near(pos, self.config.range_m):
+        unit_disk = config.loss_model == "unit_disk"
+        model_collisions = config.model_collisions
+        rx_in_progress = self._rx_in_progress
+        receptions = tx.receptions
+        idle = RadioMode.IDLE
+        for radio in self.radios_near(pos, config.range_m):
             if radio is sender:
                 continue
-            if not radio.can_receive:
-                if radio.alive and not radio.awake:
-                    self.stats.frames_missed_asleep += 1
+            # Inlined ``can_receive`` / ``alive and not awake`` (the
+            # base mode is one of IDLE / SLEEP / OFF): property dispatch
+            # on every candidate of every frame is measurable.
+            if radio.base_mode is not idle or radio.transmitting:
+                if radio.base_mode is RadioMode.SLEEP:
+                    stats.frames_missed_asleep += 1
                 continue
             rec = _Reception(radio)
-            if self.config.loss_model != "unit_disk":
-                p = self.config.reception_probability(
+            if not unit_disk:
+                p = config.reception_probability(
                     pos.dist(radio.position())
                 )
                 if p < 1.0 and self._loss_rng.random() >= p:
                     # Fringe loss: the radio still hears energy (pays
                     # RX) but the frame does not decode.
                     rec.corrupted = True
-            ongoing = self._rx_in_progress.setdefault(radio.node_id, [])
-            if ongoing and self.config.model_collisions:
+            nid = radio.node_id
+            ongoing = rx_in_progress.get(nid)
+            if ongoing is None:
+                ongoing = rx_in_progress[nid] = []
+            if ongoing and model_collisions:
                 rec.corrupted = True
                 for other in ongoing:
                     other.corrupted = True
             ongoing.append(rec)
             radio.begin_rx()
-            tx.receptions.append(rec)
+            receptions.append(rec)
 
+        tx.index = len(self._active)
         self._active.append(tx)
         self.sim.after(
-            duration + self.config.propagation_delay_s,
+            duration + config.propagation_delay_s,
             self._finish,
             tx,
             payload,
         )
         return duration
 
+    def _remove_active(self, tx: _Transmission) -> None:
+        """O(1) swap-pop removal from the in-flight list."""
+        active = self._active
+        last = active.pop()
+        if last is not tx:
+            active[tx.index] = last
+            last.index = tx.index
+
     def _finish(self, tx: _Transmission, payload: object) -> None:
-        self._active.remove(tx)
+        self._remove_active(tx)
         tx.sender.end_tx()
+        stats = self.stats
+        rx_in_progress = self._rx_in_progress
+        sender_id = tx.sender.node_id
         for rec in tx.receptions:
             radio = rec.receiver
             radio.end_rx()
-            ongoing = self._rx_in_progress.get(radio.node_id)
+            ongoing = rx_in_progress.get(radio.node_id)
             if ongoing and rec in ongoing:
                 ongoing.remove(rec)
             if rec.corrupted:
-                self.stats.frames_corrupted += 1
+                stats.frames_corrupted += 1
                 continue
             # Half-duplex / mid-frame sleep: a receiver that started
-            # transmitting or went to sleep during the frame loses it.
-            if not radio.can_receive:
-                self.stats.frames_corrupted += 1
+            # transmitting or went to sleep during the frame loses it
+            # (inlined ``can_receive``).
+            if radio.base_mode is not RadioMode.IDLE or radio.transmitting:
+                stats.frames_corrupted += 1
                 continue
-            self.stats.frames_delivered += 1
-            radio.deliver(payload, tx.sender.node_id)
+            stats.frames_delivered += 1
+            sink = radio.frame_sink
+            if sink is not None:
+                sink(payload, sender_id)

@@ -34,9 +34,15 @@ class Radio:
         position_fn: Callable[[], object],
         profile: PowerProfile,
         monitor: BatteryMonitor,
+        mobility: Optional[object] = None,
     ) -> None:
         self.node_id = node_id
         self.position_fn = position_fn
+        #: The node's mobility model, when one exists.  The medium's
+        #: neighbor loops use it to query positions with a single call
+        #: (``mobility.position(now)``) instead of going through
+        #: ``position_fn``; both paths return the identical value.
+        self.mobility = mobility
         self.profile = profile
         self.monitor = monitor
         self.base_mode = RadioMode.IDLE
@@ -45,8 +51,17 @@ class Radio:
         self.frame_sink: Optional[FrameSink] = None
         self.on_mode_change: Optional[Callable[[RadioMode, RadioMode], None]] = None
         self._effective = RadioMode.IDLE
+        # Mode -> watts, precomputed: ``_update`` runs for every frame
+        # overheard by every receiver, and the profile is immutable.
+        # The per-mode floats skip the enum-keyed dict (enum __hash__ is
+        # measurable at half a million draw switches per run).
+        self._power = {mode: profile.total_power(mode) for mode in RadioMode}
+        self._p_tx = self._power[RadioMode.TX]
+        self._p_rx = self._power[RadioMode.RX]
+        self._p_off = self._power[RadioMode.OFF]
+        self._p_idle = self._power[RadioMode.IDLE]
         # Establish the initial draw.
-        self.monitor.set_draw(profile.total_power(self._effective))
+        self.monitor.set_draw(self._power[self._effective])
 
     # ------------------------------------------------------------------
     # Queries
@@ -113,13 +128,35 @@ class Radio:
         self._update()
 
     def begin_rx(self) -> None:
+        # Specialized ``_update``: these two run once per receiver per
+        # frame.  Only an idle, non-transmitting radio can change mode
+        # here (TX / SLEEP / OFF all dominate RX activity), exactly as
+        # the general dispatch in ``_update`` resolves it.
         self.rx_count += 1
-        self._update()
+        if (
+            self.base_mode is RadioMode.IDLE
+            and not self.transmitting
+            and self._effective is not RadioMode.RX
+        ):
+            old = self._effective
+            self._effective = RadioMode.RX
+            self.monitor.set_draw(self._p_rx)
+            if self.on_mode_change is not None:
+                self.on_mode_change(old, RadioMode.RX)
 
     def end_rx(self) -> None:
-        if self.rx_count > 0:
-            self.rx_count -= 1
-            self._update()
+        count = self.rx_count
+        if count > 0:
+            self.rx_count = count - 1
+            # An RX effective mode implies base IDLE and not
+            # transmitting, so dropping the last reception returns the
+            # radio to IDLE; every other state is unchanged by the
+            # general dispatch.
+            if count == 1 and self._effective is RadioMode.RX:
+                self._effective = RadioMode.IDLE
+                self.monitor.set_draw(self._p_idle)
+                if self.on_mode_change is not None:
+                    self.on_mode_change(RadioMode.RX, RadioMode.IDLE)
 
     def deliver(self, payload: object, sender_id: int) -> None:
         """Hand a successfully received frame to the MAC."""
@@ -128,18 +165,23 @@ class Radio:
 
     # ------------------------------------------------------------------
     def _update(self) -> None:
-        if self.base_mode is RadioMode.OFF:
+        base = self.base_mode
+        if base is RadioMode.OFF:
             eff = RadioMode.OFF
+            watts = self._p_off
         elif self.transmitting:
             eff = RadioMode.TX
-        elif self.rx_count > 0 and self.base_mode is RadioMode.IDLE:
+            watts = self._p_tx
+        elif self.rx_count > 0 and base is RadioMode.IDLE:
             eff = RadioMode.RX
+            watts = self._p_rx
         else:
-            eff = self.base_mode
+            eff = base
+            watts = self._power[base]
         if eff is self._effective:
             return
         old = self._effective
         self._effective = eff
-        self.monitor.set_draw(self.profile.total_power(eff))
+        self.monitor.set_draw(watts)
         if self.on_mode_change is not None:
             self.on_mode_change(old, eff)

@@ -201,3 +201,97 @@ def test_compaction_preserves_pending_live_events():
         sim.at(2e5 + i, lambda: None).cancel()
     sim.run(until=100.0)
     assert fired == list(range(10))
+
+
+def test_call_soon_priority_breaks_same_instant_ties():
+    sim = Simulator()
+    order = []
+
+    def first():
+        sim.call_soon(order.append, "later", priority=10)
+        sim.call_soon(order.append, "sooner", priority=0)
+
+    sim.at(1.0, first)
+    sim.run()
+    assert order == ["sooner", "later"]
+
+
+def test_call_soon_priority_orders_against_queued_events():
+    sim = Simulator()
+    order = []
+    sim.at(1.0, lambda: sim.call_soon(order.append, "boosted", priority=-1))
+    sim.at(1.0, order.append, "queued")
+    sim.run()
+    # priority -1 beats the already-queued priority-0 event at the
+    # same instant, despite the later insertion.
+    assert order == ["boosted", "queued"]
+
+
+def test_peek_time_discards_cancelled_heads():
+    """peek_time's documented side effect: cancelled events at the head
+    of the calendar are popped while peeking (``pending`` shrinks); the
+    next live event is never removed."""
+    sim = Simulator()
+    dead = [sim.at(1.0 + i, lambda: None) for i in range(5)]
+    sim.at(10.0, lambda: None)
+    for h in dead:
+        h.cancel()
+    assert sim.pending == 6
+    assert sim.peek_time() == 10.0
+    assert sim.pending == 1  # the five cancelled heads were disposed of
+    assert sim.peek_time() == 10.0  # the live head stays queued
+    assert sim.pending == 1
+
+
+def test_heap_high_water_tracks_peak_calendar_size():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(float(i + 1), lambda: None)
+    assert sim.heap_high_water == 10
+    sim.run()
+    assert sim.pending == 0
+    assert sim.heap_high_water == 10  # high-water survives the drain
+
+
+def test_instrument_observes_every_dispatch():
+    sim = Simulator()
+    seen = []
+
+    class Observer:
+        def on_dispatch(self, event, elapsed, queue_len):
+            seen.append((event.time, elapsed >= 0.0, queue_len))
+
+    obs = Observer()
+    sim.instrument(obs)
+    sim.instrument(obs)  # attaching twice must not double-notify
+    sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    sim.run()
+    assert [(t, ok) for t, ok, _ in seen] == [(1.0, True), (2.0, True)]
+    assert seen[-1][2] == 0  # queue length after the last dispatch
+
+    sim.uninstrument(obs)
+    sim.at(3.0, lambda: None)
+    sim.run()
+    assert len(seen) == 2  # detached: back on the fast loop
+    sim.uninstrument(obs)  # and detaching again is a no-op
+
+
+def test_instrumented_run_keeps_dispatch_order():
+    def trace(with_instrument):
+        sim = Simulator()
+        order = []
+        if with_instrument:
+            class Obs:
+                def on_dispatch(self, event, elapsed, queue_len):
+                    pass
+            sim.instrument(Obs())
+        sim.at(1.0, order.append, "b", priority=1)
+        sim.at(1.0, order.append, "a", priority=0)
+        h = sim.at(1.5, order.append, "dropped")
+        h.cancel()
+        sim.at(2.0, order.append, "c")
+        sim.run(until=5.0)
+        return order, sim.now, sim.events_executed
+
+    assert trace(False) == trace(True)

@@ -1,0 +1,116 @@
+"""The kernel equivalence harness.
+
+``tests/data/golden_kernel.json`` pins the exact dispatch-sequence and
+end-state digests the *pre-optimization* seed kernel produced for nine
+reference scenarios (3 protocols x 3 seeds).  These tests rerun each
+scenario on the current kernel and require bit-for-bit agreement, which
+is the proof obligation for every hot-path optimization: same events,
+same order, same floating-point state — not merely "similar metrics".
+
+``tests/data/golden_fig5.json`` additionally pins one full figure
+export, so the sweep/figure pipeline above the kernel is covered too.
+
+Regenerating (only after an *intentional* semantic change, from a
+checkout whose behaviour is the new reference)::
+
+    PYTHONPATH=src:tests python tests/perf/test_golden_trace.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.perf.trace import TRACE_SCHEMA, golden_run
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+GOLDEN = json.loads((DATA_DIR / "golden_kernel.json").read_text())
+
+#: The pinned scenario shape (small enough to run 9x in tier-1, busy
+#: enough to exercise MAC contention, sleep cycling, and node death).
+PROTOCOLS = ("ecgrid", "grid", "gaf")
+SEEDS = (1, 2, 3)
+
+
+def scenario_config(protocol: str, seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        protocol=protocol,
+        n_hosts=24,
+        width_m=500.0,
+        height_m=500.0,
+        sim_time_s=80.0,
+        n_flows=4,
+        max_speed_mps=2.0,
+        initial_energy_j=40.0,
+        seed=seed,
+    )
+
+
+def test_golden_file_schema_matches_code():
+    assert GOLDEN["schema"] == TRACE_SCHEMA
+    assert len(GOLDEN["scenarios"]) == len(PROTOCOLS) * len(SEEDS)
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    GOLDEN["scenarios"],
+    ids=lambda sc: f"{sc['protocol']}-seed{sc['seed']}",
+)
+def test_kernel_reproduces_golden_digests(scenario):
+    config = scenario_config(scenario["protocol"], scenario["seed"])
+    trace, state, record = golden_run(config)
+    assert record["events_executed"] == scenario["events_executed"]
+    assert trace == scenario["trace_sha256"], (
+        "dispatch sequence diverged from the golden kernel — some "
+        "optimization changed event order or timing"
+    )
+    assert state == scenario["state_sha256"], (
+        "end-of-run state diverged from the golden kernel (same "
+        "dispatch order, different arithmetic?)"
+    )
+
+
+def test_fig5_export_byte_identical():
+    """One pinned figure, through the full sweep pipeline, to the byte."""
+    from repro.experiments import figures
+    from repro.experiments.export import figure_to_json
+    from repro.experiments.sweep import SweepRunner
+
+    golden = (DATA_DIR / "golden_fig5.json").read_text()
+    fig = figures.figure(
+        "fig5",
+        speed=1.0,
+        scale=0.12,
+        seed=1,
+        seeds=1,
+        runner=SweepRunner(workers=0, cache=None),
+    )
+    assert figure_to_json(fig) == golden
+
+
+def _regenerate() -> None:  # pragma: no cover
+    scenarios = []
+    for protocol in PROTOCOLS:
+        for seed in SEEDS:
+            trace, state, record = golden_run(scenario_config(protocol, seed))
+            scenarios.append(
+                {
+                    "protocol": protocol,
+                    "seed": seed,
+                    "events_executed": record["events_executed"],
+                    "trace_sha256": trace,
+                    "state_sha256": state,
+                }
+            )
+            print(f"{protocol} seed {seed}: {record['events_executed']} events")
+    out = DATA_DIR / "golden_kernel.json"
+    out.write_text(
+        json.dumps({"schema": TRACE_SCHEMA, "scenarios": scenarios}, indent=1)
+        + "\n"
+    )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -217,3 +217,29 @@ def test_gray_zone_reliable_core_unaffected():
         sim.at(i * 0.01, medium.transmit, a, f"m{i}", 64)
     sim.run(until=2.0)
     assert len(inbox) == 30
+
+
+def test_fractional_range_reaches_fourth_ring():
+    # Ring count must be computed as ceil() on the float ratio: a
+    # 300.2 m radius over 100 m cells needs 4 bucket rings.  Integer
+    # truncation (3 rings) silently dropped in-range receivers whose
+    # bucket sits in the fourth ring, like this pair 300.15 m apart.
+    sim, medium, (a, b) = build(
+        [(99.9, 50.0), (400.05, 50.0)], range_m=300.2
+    )
+    assert medium._ring == 4
+    inbox = attach_inbox(b)
+    medium.transmit(a, "msg", 100)
+    sim.run(until=1.0)
+    assert inbox == [("msg", 0)]
+
+
+def test_unreachable_corner_cells_are_pruned():
+    # Default 250 m range on 100 m cells: the four (+-3, +-3) corner
+    # cells of the 7x7 ball sit >= sqrt(2)*200 m > 250 m away from any
+    # point of the center cell and are dropped from the query set; the
+    # axis cells at the same ring remain reachable (gap 200 m).
+    _, medium, _ = build([(0.0, 0.0)])
+    offsets = set(medium._ring_offsets)
+    assert (3, 3) not in offsets and (-3, -3) not in offsets
+    assert (3, 0) in offsets and (0, -3) in offsets
