@@ -35,6 +35,16 @@ from repro.protocols.aodv import AodvParams, AodvProtocol
 from repro.protocols.span import SpanParams, SpanProtocol
 from repro.protocols.dsdv import DsdvParams, DsdvProtocol
 from repro.core import EcGridProtocol
+from repro.faults import (
+    BatteryDrain,
+    FaultPlan,
+    MediumLossWindow,
+    NodeCrash,
+    NodeRecover,
+    PageLoss,
+    Partition,
+    standard_fault_plan,
+)
 from repro.experiments import (
     ExperimentConfig,
     ExperimentResult,
@@ -75,6 +85,14 @@ __all__ = [
     "DsdvProtocol",
     "DsdvParams",
     "FloodingProtocol",
+    "FaultPlan",
+    "NodeCrash",
+    "NodeRecover",
+    "PageLoss",
+    "MediumLossWindow",
+    "Partition",
+    "BatteryDrain",
+    "standard_fault_plan",
     "ExperimentConfig",
     "ExperimentResult",
     "ResultCache",

@@ -103,6 +103,10 @@ def main(argv=None) -> int:
     run_p.add_argument("--area", type=float, default=1000.0)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="JSON fault plan to inject into the run (see docs/faults.md)",
+    )
+    run_p.add_argument(
         "--profile", action="store_true",
         help="attach the kernel profiler and print its per-category report",
     )
@@ -177,6 +181,12 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "run":
+        faults = None
+        if args.faults:
+            from repro.faults.plan import FaultPlan
+
+            with open(args.faults) as fh:
+                faults = FaultPlan.from_json(fh.read())
         cfg = ExperimentConfig(
             protocol=args.protocol,
             n_hosts=args.hosts,
@@ -189,6 +199,7 @@ def main(argv=None) -> int:
             width_m=args.area,
             height_m=args.area,
             seed=args.seed,
+            faults=faults,
         )
         instruments = ()
         profiler = None

@@ -67,7 +67,11 @@ class GridRoutingMixin(GridProtocolBase):
         self.pending_local: Deque[DataPacket] = deque()
         #: Gateway-side buffers for sleeping in-grid destinations.
         self.host_buffers: Dict[int, Deque[DataPacket]] = {}
+        #: Paging bursts sent per buffering episode (reset on a
+        #: successful in-grid delivery).
         self._page_attempts: Dict[int, int] = {}
+        #: Destinations with a `_flush_host_buffer` event in flight.
+        self._page_flush_pending: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Application entry
@@ -112,9 +116,17 @@ class GridRoutingMixin(GridProtocolBase):
 
     def _queue_local(self, packet: DataPacket) -> None:
         if len(self.pending_local) >= self.params.buffer_limit:
-            self.pending_local.popleft()
-            self.counters.inc("buffer_drops")
+            self._drop(self.pending_local.popleft(), "buffer_overflow")
         self.pending_local.append(packet)
+
+    def _drop(self, packet: DataPacket, reason: str) -> None:
+        """Discard a data packet, keeping the per-packet delivery
+        accounting and the overhead counters in agreement (drops were
+        previously invisible to
+        :class:`~repro.metrics.collectors.PacketLog`)."""
+        if reason == "buffer_overflow":
+            self.counters.inc("buffer_drops")
+        self.node.report_drop(packet, reason)
 
     def _flush_pending_local(self) -> None:
         while self.pending_local:
@@ -150,13 +162,22 @@ class GridRoutingMixin(GridProtocolBase):
                 self._queue_local(buf.popleft())
         self.host_buffers.clear()
         self._page_attempts.clear()
+        self._page_flush_pending.clear()
 
     def _routing_on_death(self) -> None:
         for p in self.pending.values():
             p.timer.cancel()
+            while p.queue:
+                self._drop(p.queue.popleft(), "node_died")
         self.pending.clear()
-        self.pending_local.clear()
+        while self.pending_local:
+            self._drop(self.pending_local.popleft(), "node_died")
+        for buf in self.host_buffers.values():
+            while buf:
+                self._drop(buf.popleft(), "node_died")
         self.host_buffers.clear()
+        self._page_attempts.clear()
+        self._page_flush_pending.clear()
 
     # ------------------------------------------------------------------
     # Gateway forwarding
@@ -250,28 +271,43 @@ class GridRoutingMixin(GridProtocolBase):
                 return
         # The host is gone (left the grid without LEAVE, or died).
         self.counters.inc("in_grid_drops")
-        self.hosts.remove(dest)
-        self._page_attempts.pop(dest, None)
+        self._drop(packet, "host_unreachable")
+        self._drop_host_buffer(dest, "host_unreachable")
 
     def _buffer_and_page(self, dest: int, packet: Optional[DataPacket]) -> None:
         """§3.3: buffer at the gateway, wake the destination via RAS,
-        then push the buffered packets."""
+        then push the buffered packets.
+
+        Whenever packets are buffered, a flush is guaranteed to be in
+        flight: either one is already scheduled, or a fresh page + flush
+        is issued here.  (The seed code skipped the flush when a page
+        had been sent before, so a packet buffered after the previous
+        flush fired — the `_in_grid_failed` re-page path — sat in
+        ``host_buffers`` forever.)  Paging bursts per buffering episode
+        are capped at ``_page_attempt_limit``; exhausting the budget
+        drops the buffer and forgets the host, like any unreachable
+        in-grid destination.
+        """
         buf = self.host_buffers.setdefault(dest, deque())
         if packet is not None:
             if len(buf) >= self.params.buffer_limit:
-                buf.popleft()
-                self.counters.inc("buffer_drops")
+                self._drop(buf.popleft(), "buffer_overflow")
             buf.append(packet)
-        already_paging = self._page_attempts.get(dest, 0) > 0
-        self._page_attempts[dest] = self._page_attempts.get(dest, 0) + 1
-        if already_paging:
+        if dest in self._page_flush_pending:
+            return  # the in-flight flush will push this packet too
+        attempts = self._page_attempts.get(dest, 0)
+        if attempts >= self._page_attempt_limit:
+            self._drop_host_buffer(dest, "page_exhausted")
             return
+        self._page_attempts[dest] = attempts + 1
         self.counters.inc("pages_sent")
         self.node.ras.page_host(self.node.radio, dest)
+        self._page_flush_pending.add(dest)
         self.sim.after(self._page_flush_delay_s, self._flush_host_buffer, dest)
 
     def _flush_host_buffer(self, dest: int) -> None:
         """Push buffered packets to a (hopefully) now-awake host."""
+        self._page_flush_pending.discard(dest)
         if self.role is not Role.GATEWAY:
             return
         buf = self.host_buffers.pop(dest, None)
@@ -280,6 +316,19 @@ class GridRoutingMixin(GridProtocolBase):
         self.hosts.mark_active(dest)
         while buf:
             self._deliver_in_grid(buf.popleft(), dest)
+
+    def _drop_host_buffer(self, dest: int, reason: str) -> None:
+        """Give up on an in-grid destination: drop its buffer, forget
+        its paging state, and remove it from the host table so the next
+        packet goes through ordinary discovery."""
+        buf = self.host_buffers.pop(dest, None)
+        self._page_attempts.pop(dest, None)
+        self.hosts.remove(dest)
+        if not buf:
+            return
+        self.counters.inc("in_grid_drops", len(buf))
+        while buf:
+            self._drop(buf.popleft(), reason)
 
     def _member_registered(self, dest: int) -> None:
         """A host just (re)joined our grid: any route discovery we were
@@ -314,8 +363,7 @@ class GridRoutingMixin(GridProtocolBase):
             self._send_rreq(p)
         if packet is not None:
             if len(p.queue) >= self.params.buffer_limit:
-                p.queue.popleft()
-                self.counters.inc("buffer_drops")
+                self._drop(p.queue.popleft(), "buffer_overflow")
             p.queue.append(packet)
 
     def _search_region(self, dest: int, retries: int):
@@ -385,6 +433,8 @@ class GridRoutingMixin(GridProtocolBase):
                 return
             self.counters.inc("discovery_failures")
             self.counters.inc("data_dropped_no_route", len(p.queue))
+            while p.queue:
+                self.node.report_drop(p.queue.popleft(), "no_route")
             del self.pending[dest]
             return
         self._send_rreq(p)

@@ -92,6 +92,37 @@ class BatteryMonitor:
         if not self._check_pending and not self.battery.depleted:
             self._book_check()
 
+    def poll(self) -> None:
+        """Re-evaluate *now*, after an out-of-band battery change (an
+        injected drain): fires depletion or a band crossing immediately
+        instead of waiting for the next conservative check, then makes
+        sure a check stays booked.  Never creates a second check chain.
+        """
+        if self._fired_depleted:
+            return
+        battery = self.battery
+        battery.settle(self.sim.now)
+        if battery.depleted:
+            self._fire_depleted()
+            return
+        level = battery.level(self.sim.now)
+        if level != self._last_level:
+            old, self._last_level = self._last_level, level
+            if self.on_level_change is not None:
+                self.on_level_change(old, level)
+            if self._fired_depleted:  # callback may have killed the node
+                return
+        if not self._check_pending:
+            self._book_check()
+
+    def reactivate(self) -> None:
+        """Re-arm after an injected recovery refilled the battery
+        outside the normal monotone-discharge lifecycle."""
+        self._fired_depleted = False
+        self._last_level = self.battery.level(self.sim.now)
+        if not self._check_pending and not self.battery.depleted:
+            self._book_check()
+
     # ------------------------------------------------------------------
     def _next_threshold_j(self, now: float) -> float:
         """Energy (joules) above the next threshold below current Rbrc."""

@@ -59,6 +59,33 @@ class Battery:
         draw (updates the ``depleted`` flag at observation points)."""
         self._settle(now)
 
+    def drain(self, joules: float, now: float) -> None:
+        """Remove ``joules`` instantly (injected fault or an auxiliary
+        load outside the radio's mode timeline).  The caller is
+        responsible for surfacing a resulting depletion — see
+        :meth:`BatteryMonitor.poll <repro.energy.accounting
+        .BatteryMonitor.poll>`."""
+        if joules < 0:
+            raise ValueError("cannot drain a negative amount")
+        if self.infinite:
+            return
+        self._settle(now)
+        self._remaining -= joules
+        if self._remaining <= 1e-12:
+            self._remaining = 0.0
+            self.depleted = True
+
+    def recharge(self, joules: float, now: float) -> None:
+        """Refill ``joules`` (capped at capacity) and clear depletion —
+        the revival path of injected node recoveries."""
+        if joules < 0:
+            raise ValueError("cannot recharge a negative amount")
+        if self.infinite:
+            return
+        self._settle(now)
+        self._remaining = min(self.capacity_j, self._remaining + joules)
+        self.depleted = self._remaining == 0.0
+
     # ------------------------------------------------------------------
     def set_draw(self, watts: float, now: float) -> None:
         """Account for the interval since the last change, then switch

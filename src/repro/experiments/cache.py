@@ -4,9 +4,10 @@ Layout: one JSON file per simulated point, named
 ``<cache_root>/<ExperimentConfig.cache_key()>.json`` and containing
 exactly the :func:`repro.experiments.export.result_to_dict` record.
 Because the key hashes *every* config field (seed and nested protocol
-tunables included, salted with ``CONFIG_SCHEMA``), changing any
-parameter changes the key — invalidation is automatic, there is
-nothing to expire.  Records carry ``"schema"``; a stale or unreadable
+tunables included, salted with ``CONFIG_SCHEMA`` and the package's
+:func:`~repro.experiments.config.cache_version` code fingerprint),
+changing any parameter — or any line of simulator code — changes the
+key; invalidation is automatic, there is nothing to expire.  Records carry ``"schema"``; a stale or unreadable
 file is treated as a miss and silently overwritten on the next store.
 
 Writes go through a temp file + :func:`os.replace` so concurrent

@@ -14,8 +14,10 @@ import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.protocols.base import ProtocolParams
 from repro.protocols.gaf import GafParams
 
@@ -26,6 +28,33 @@ PROTOCOLS = ("ecgrid", "grid", "gaf", "aodv", "span", "dsdv", "flooding")
 #: config field changes meaning (or the simulation semantics behind one
 #: do), so previously cached results stop matching.
 CONFIG_SCHEMA = 1
+
+_CACHE_VERSION: Optional[str] = None
+
+
+def cache_version() -> str:
+    """Code-version fingerprint folded into every cache key.
+
+    ``CONFIG_SCHEMA`` only invalidates caches when someone remembers to
+    bump it; results computed by an older (possibly buggy) build of the
+    simulator would otherwise keep satisfying lookups forever.  This
+    combines the package version with a digest of the package sources,
+    so *any* code change starts a fresh cache namespace.  Computed once
+    per process (it walks every ``.py`` file under :mod:`repro`).
+    """
+    global _CACHE_VERSION
+    if _CACHE_VERSION is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).resolve().parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CACHE_VERSION = f"{repro.__version__}+{digest.hexdigest()[:16]}"
+    return _CACHE_VERSION
 
 
 @dataclass
@@ -57,6 +86,11 @@ class ExperimentConfig:
     sim_time_s: float = 2000.0
     seed: int = 1
     sample_interval_s: float = 10.0
+    # -- fault injection -------------------------------------------------
+    #: Declarative adversity injected into the run; None = no faults.
+    #: Part of the config, so it participates in :meth:`cache_key` and
+    #: can serve as a sweep axis.
+    faults: Optional[FaultPlan] = None
     # -- protocol tunables ----------------------------------------------
     params: ProtocolParams = field(default_factory=ProtocolParams)
     gaf: GafParams = field(default_factory=GafParams)
@@ -119,6 +153,8 @@ class ExperimentConfig:
         d = dict(data)
         d["params"] = ProtocolParams(**d.get("params", {}))
         d["gaf"] = GafParams(**d.get("gaf", {}))
+        faults = d.get("faults")
+        d["faults"] = FaultPlan.from_dict(faults) if faults else None
         return cls(**d)
 
     def cache_key(self) -> str:
@@ -126,12 +162,18 @@ class ExperimentConfig:
 
         Two configs share a key iff every field (nested tunables and
         seed included) is equal, so a key identifies one deterministic
-        simulation outcome.  The key salts in :data:`CONFIG_SCHEMA` so
-        cached results can be invalidated en masse when semantics
-        change.
+        simulation outcome.  The key salts in :data:`CONFIG_SCHEMA`
+        (manual invalidation when a field changes meaning) and
+        :func:`cache_version` (automatic invalidation whenever the
+        simulator's code changes), so a stale cache from an older build
+        can never satisfy a lookup from a newer one.
         """
         payload = json.dumps(
-            {"schema": CONFIG_SCHEMA, "config": self.to_dict()},
+            {
+                "schema": CONFIG_SCHEMA,
+                "version": cache_version(),
+                "config": self.to_dict(),
+            },
             sort_keys=True,
             separators=(",", ":"),
             default=str,

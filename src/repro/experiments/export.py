@@ -27,7 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Version of the exported result/figure dict layout.  Bump on any
 #: change to the keys or their meaning; cached results with a stale
 #: schema are treated as misses.
-RESULT_SCHEMA = 1
+#:
+#: 2: added per-reason drop accounting (``dropped``, ``drop_reasons``)
+#:    and fault-recovery scalars (``recovery``).
+RESULT_SCHEMA = 2
 
 
 def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
@@ -51,6 +54,9 @@ def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
         "aen": result.aen.rows(),
         "counters": result.counters,
         "medium": result.medium,
+        "dropped": result.dropped,
+        "drop_reasons": result.drop_reasons,
+        "recovery": result.recovery,
         "events_executed": result.events_executed,
         "wall_time_s": result.wall_time_s,
     }
@@ -92,6 +98,9 @@ def result_from_dict(data: Mapping[str, Any]) -> "ExperimentResult":
         all_dead_s=data["all_dead_s"],
         counters=dict(data["counters"]),
         medium=dict(data["medium"]),
+        dropped=data["dropped"],
+        drop_reasons=dict(data["drop_reasons"]),
+        recovery=dict(data["recovery"]),
         events_executed=data["events_executed"],
         wall_time_s=data["wall_time_s"],
     )

@@ -472,6 +472,68 @@ def _ablation_gridsize(
     )
 
 
+# ----------------------------------------------------------------------
+# Resilience under injected faults (not in the paper; validates the
+# protocols' self-healing claims under explicit adversity)
+# ----------------------------------------------------------------------
+def _resilience(
+    runner, speed, scale, seeds,
+    intensities: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    protocols: Sequence[str] = COMPARED,
+) -> FigureData:
+    """Delivery rate and post-fault recovery latency vs fault
+    intensity.  Each intensity compiles to a :func:`standard_fault_plan
+    <repro.faults.plan.standard_fault_plan>` mixing partitions, lossy
+    windows, paging loss, crashes (with partial recovery) and battery
+    drains, built against the post-scale horizon and geometry so
+    intensities stay comparable across scales."""
+    from repro.faults.plan import standard_fault_plan
+
+    base = _base(speed, scale, seeds[0])
+    plans = [
+        standard_fault_plan(
+            i,
+            sim_time_s=base.sim_time_s,
+            width_m=base.width_m,
+            height_m=base.height_m,
+            n_hosts=base.n_hosts,
+            initial_energy_j=base.initial_energy_j,
+        )
+        for i in intensities
+    ]
+    intensity_of = dict(zip(plans, intensities))
+    spec = SweepSpec(
+        name="resilience",
+        base=base,
+        axes={
+            "protocol": list(protocols),
+            "faults": plans,
+            "seed": list(seeds),
+        },
+    )
+    run = runner.run(spec)
+
+    def extract(point, result):
+        x = intensity_of[point.axes["faults"]]
+        proto = point.axes["protocol"]
+        out = [(f"{proto}:delivery_pct", x, result.delivery_rate * 100.0)]
+        rec = result.recovery.get("mean_delivery_recovery_s")
+        if rec is not None:
+            out.append((f"{proto}:recovery_s", x, rec))
+        return out
+
+    return _assemble(
+        "resilience",
+        f"Delivery and fault-recovery latency vs fault intensity "
+        f"(speed {speed} m/s)",
+        "fault intensity",
+        "delivery (%) / recovery (s)",
+        run,
+        extract,
+        seeds,
+    )
+
+
 #: Every regenerable figure, keyed by its canonical (CLI) name.  Each
 #: entry is ``impl(runner, speed, scale, seeds, **axes) -> FigureData``.
 FIGURES: Dict[str, Callable[..., FigureData]] = {
@@ -484,6 +546,7 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
     "ablation-loadbalance": _ablation_loadbalance,
     "ablation-search": _ablation_search,
     "ablation-gridsize": _ablation_gridsize,
+    "resilience": _resilience,
 }
 
 

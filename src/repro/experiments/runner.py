@@ -69,6 +69,8 @@ def build_network(config: ExperimentConfig) -> Network:
             config.packet_bytes,
             endpoints_only=config.endpoints > 0,
         )
+    if config.faults is not None and config.faults.events:
+        network.inject_faults(config.faults)
     return network
 
 
@@ -93,6 +95,14 @@ class ExperimentResult:
     all_dead_s: Optional[float]
     counters: Dict[str, int] = field(default_factory=dict)
     medium: Dict[str, int] = field(default_factory=dict)
+    #: Packets the protocols discarded, total and per reason (buffer
+    #: overflow, failed discovery, unreachable host, ...).
+    dropped: int = 0
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Recovery scalars for faulted runs (see
+    #: :func:`repro.metrics.recovery.recovery_summary`); empty without
+    #: a fault plan.
+    recovery: Dict[str, float] = field(default_factory=dict)
     events_executed: int = 0
     #: Wall clock of the event loop alone, measured inside whichever
     #: process executed the run — never includes scenario construction,
@@ -133,6 +143,18 @@ class ExperimentResult:
                 f"frames sent {self.medium.get('frames_sent', 0)}"
             ),
         ]
+        if self.dropped:
+            reasons = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.drop_reasons.items())
+            )
+            lines.append(f"  drops {self.dropped} ({reasons})")
+        if self.recovery:
+            lines.append(
+                f"  faults {self.recovery.get('faults_injected', 0):.0f}, "
+                f"delivery recovery mean "
+                f"{self.recovery.get('mean_delivery_recovery_s', 0.0):.2f}s "
+                f"max {self.recovery.get('max_delivery_recovery_s', 0.0):.2f}s"
+            )
         return "\n".join(lines)
 
     @staticmethod
@@ -150,12 +172,31 @@ def run_experiment(
     never its dispatch order or metrics.
     """
     network = build_network(config)
+    checker = None
+    if network.fault_injector is not None:
+        # Invariant clean-sample times feed the recovery metrics; the
+        # checker only reads state, never perturbs the run.
+        from repro.experiments.validate import InvariantChecker
+
+        checker = InvariantChecker(
+            network, interval_s=config.sample_interval_s
+        )
     t0 = time.perf_counter()
     network.run(until=config.sim_time_s, instruments=instruments)
     wall = time.perf_counter() - t0
 
     log = network.packet_log
     med = network.medium.stats
+    recovery: Dict[str, float] = {}
+    if network.fault_injector is not None:
+        from repro.metrics.recovery import recovery_summary
+
+        recovery = recovery_summary(
+            network.fault_injector.plan,
+            log,
+            config.sim_time_s,
+            checker.report if checker is not None else None,
+        )
     return ExperimentResult(
         config=config,
         alive_fraction=network.sampler.alive_fraction,
@@ -180,8 +221,12 @@ def run_experiment(
             "frames_delivered": med.frames_delivered,
             "frames_corrupted": med.frames_corrupted,
             "frames_missed_asleep": med.frames_missed_asleep,
+            "frames_fault_dropped": med.frames_fault_dropped,
             "bytes_sent": med.bytes_sent,
         },
+        dropped=log.dropped_count,
+        drop_reasons=log.drop_reasons(),
+        recovery=recovery,
         events_executed=network.sim.events_executed,
         wall_time_s=wall,
     )

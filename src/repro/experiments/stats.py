@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FigureData
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.sweep import resample_union
 
 Series = List[Tuple[float, float]]
 
@@ -27,30 +28,32 @@ def run_replicates(
 
 
 def mean_series(series_list: Sequence[Series]) -> Series:
-    """Pointwise mean over the x values all replicates share."""
-    if not series_list:
+    """Pointwise mean of the replicates on the union of their x-grids.
+
+    Seeds sample at different event times, so the former shared-grid
+    intersection often left these curves empty; see
+    :func:`repro.experiments.sweep.resample_union`.
+    """
+    resampled = resample_union(series_list)
+    if resampled is None:
         return []
-    common = set(x for x, _ in series_list[0])
-    for s in series_list[1:]:
-        common &= {x for x, _ in s}
-    maps = [dict(s) for s in series_list]
-    return [
-        (x, sum(m[x] for m in maps) / len(maps)) for x in sorted(common)
-    ]
+    grid, cols = resampled
+    n = len(cols)
+    return [(x, sum(c[i] for c in cols) / n) for i, x in enumerate(grid)]
 
 
 def stderr_series(series_list: Sequence[Series]) -> Series:
-    """Pointwise standard error over shared x values."""
+    """Pointwise standard error on the union x-grid."""
     if len(series_list) < 2:
         return [(x, 0.0) for x, _ in (series_list[0] if series_list else [])]
-    common = set(x for x, _ in series_list[0])
-    for s in series_list[1:]:
-        common &= {x for x, _ in s}
-    maps = [dict(s) for s in series_list]
-    n = len(maps)
+    resampled = resample_union(series_list)
+    if resampled is None:
+        return []
+    grid, cols = resampled
+    n = len(cols)
     out: Series = []
-    for x in sorted(common):
-        vals = [m[x] for m in maps]
+    for i, x in enumerate(grid):
+        vals = [c[i] for c in cols]
         mean = sum(vals) / n
         var = sum((v - mean) ** 2 for v in vals) / (n - 1)
         out.append((x, math.sqrt(var / n)))

@@ -356,37 +356,65 @@ class SweepRunner:
 # Aggregation helpers (seed replication -> mean +- stddev curves)
 # ----------------------------------------------------------------------
 def mean_series(series_list: Sequence[Series]) -> Series:
-    """Pointwise mean over the x values all replicates share."""
-    common = _common_x(series_list)
-    if common is None:
+    """Pointwise mean of the replicates on the union of their x-grids."""
+    resampled = resample_union(series_list)
+    if resampled is None:
         return []
-    maps = [dict(s) for s in series_list]
-    return [(x, sum(m[x] for m in maps) / len(maps)) for x in sorted(common)]
+    grid, cols = resampled
+    n = len(cols)
+    return [(x, sum(c[i] for c in cols) / n) for i, x in enumerate(grid)]
 
 
 def stddev_series(series_list: Sequence[Series]) -> Series:
-    """Pointwise sample stddev over shared x values (0 for one series)."""
-    common = _common_x(series_list)
-    if common is None:
+    """Pointwise sample stddev on the union x-grid (0 for one series)."""
+    resampled = resample_union(series_list)
+    if resampled is None:
         return []
-    maps = [dict(s) for s in series_list]
-    n = len(maps)
+    grid, cols = resampled
+    n = len(cols)
     out: Series = []
-    for x in sorted(common):
+    for i, x in enumerate(grid):
         if n < 2:
             out.append((x, 0.0))
             continue
-        vals = [m[x] for m in maps]
+        vals = [c[i] for c in cols]
         mean = sum(vals) / n
         var = sum((v - mean) ** 2 for v in vals) / (n - 1)
         out.append((x, math.sqrt(var)))
     return out
 
 
-def _common_x(series_list: Sequence[Series]) -> Optional[set]:
-    if not series_list:
+def resample_union(
+    series_list: Sequence[Series],
+) -> Optional[Tuple[List[float], List[List[float]]]]:
+    """Step-resample every replicate onto the union of their x-grids.
+
+    Replicates of event-driven series (death times, per-seed sampling
+    phases) rarely share exact x values, so intersecting the grids —
+    what the reducers here used to do — collapsed the averaged curve to
+    the few shared points, or to nothing at all.  Instead each series
+    is evaluated at every union x by carrying its most recent sample
+    forward; before its first sample, its first value extends backward.
+    When all replicates already share one grid this is exact (no
+    interpolation happens and the original values pass through).
+
+    Returns ``(grid, columns)`` with ``columns[i]`` the values of
+    ``series_list[i]`` on ``grid``, or ``None`` when there is nothing
+    to resample (no series, or an empty series among them).
+    """
+    if not series_list or any(not s for s in series_list):
         return None
-    common = {x for x, _ in series_list[0]}
-    for s in series_list[1:]:
-        common &= {x for x, _ in s}
-    return common
+    grid = sorted({x for s in series_list for x, _ in s})
+    columns: List[List[float]] = []
+    for s in series_list:
+        pts = sorted(s)
+        vals: List[float] = []
+        i = 0
+        cur = pts[0][1]
+        for x in grid:
+            while i < len(pts) and pts[i][0] <= x:
+                cur = pts[i][1]
+                i += 1
+            vals.append(cur)
+        columns.append(vals)
+    return grid, columns

@@ -38,6 +38,10 @@ class InvariantReport:
     violations: List[Violation] = field(default_factory=list)
     #: Cells that had >1 gateway in two consecutive samples.
     persistent_duplicate_cells: Set[tuple] = field(default_factory=set)
+    #: Sample times at which *no* invariant was violated — the fault
+    #: recovery metrics read these to time how fast the single-gateway
+    #: invariant is restored after an injected disruption.
+    clean_times: List[float] = field(default_factory=list)
 
     @property
     def transient_count(self) -> int:
@@ -45,6 +49,14 @@ class InvariantReport:
 
     def ok(self) -> bool:
         return not self.persistent_duplicate_cells
+
+    def first_clean_at_or_after(self, t: float) -> float | None:
+        """Earliest violation-free sample time >= ``t`` (None if the
+        run ended without one)."""
+        for ct in self.clean_times:
+            if ct >= t:
+                return ct
+        return None
 
 
 class InvariantChecker:
@@ -64,6 +76,7 @@ class InvariantChecker:
     def sample(self) -> None:
         now = self.network.sim.now
         self.report.samples += 1
+        violations_before = len(self.report.violations)
         gateways_per_cell: Dict[tuple, List[int]] = {}
         for node in self.network.nodes:
             proto = node.protocol
@@ -98,3 +111,5 @@ class InvariantChecker:
             duplicates & self._prev_duplicates
         )
         self._prev_duplicates = duplicates
+        if len(self.report.violations) == violations_before:
+            self.report.clean_times.append(now)

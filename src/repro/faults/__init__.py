@@ -1,0 +1,37 @@
+"""Declarative fault injection: plans (pure data) + their execution.
+
+See :mod:`repro.faults.plan` for the event vocabulary and
+:mod:`repro.faults.inject` for how a plan lands on the calendar.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    BatteryDrain,
+    EVENT_TYPES,
+    FaultEvent,
+    FaultPlan,
+    MediumLossWindow,
+    NodeCrash,
+    NodeRecover,
+    PageLoss,
+    Partition,
+    disruption_times,
+    event_from_dict,
+    standard_fault_plan,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultEvent",
+    "NodeCrash",
+    "NodeRecover",
+    "PageLoss",
+    "MediumLossWindow",
+    "Partition",
+    "BatteryDrain",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "standard_fault_plan",
+    "disruption_times",
+]

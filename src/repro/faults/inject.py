@@ -1,0 +1,167 @@
+"""Compile a :class:`~repro.faults.plan.FaultPlan` onto the calendar.
+
+The injector is armed on a freshly built :class:`~repro.net.network
+.Network` (before ``start()``): timed events (crashes, recoveries,
+drains) become ordinary simulator events, and the probabilistic channel
+faults install themselves as hooks on the medium
+(:attr:`Medium.fault_hook`) and the paging channel
+(:attr:`RasChannel.fault_hook`).  All randomness is drawn from two
+dedicated, named RNG substreams (``fault-medium``, ``fault-page``), so
+
+- the same seed and plan always produce the identical run, and
+- a run *without* a plan never touches the fault streams — existing
+  golden traces are bit-for-bit unaffected.
+
+The injector keeps a time-stamped :attr:`log` of everything it actually
+did (a crash scheduled for a host that already died on its own is a
+no-op and logs as such), which the recovery metrics read afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.faults.plan import (
+    BatteryDrain,
+    FaultPlan,
+    MediumLossWindow,
+    NodeCrash,
+    NodeRecover,
+    PageLoss,
+    Partition,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.phy.radio import Radio
+
+
+def _side(ev: Partition, pos) -> bool:
+    coord = pos[0] if ev.axis == "x" else pos[1]
+    return coord >= ev.boundary_m
+
+
+def _in_region(region: Tuple[float, float, float, float], pos) -> bool:
+    x0, y0, x1, y1 = region
+    return x0 <= pos[0] <= x1 and y0 <= pos[1] <= y1
+
+
+class FaultInjector:
+    """Executes one plan against one network."""
+
+    def __init__(self, network: "Network", plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.sim = network.sim
+        #: (time, kind, detail) for every fault actually applied.
+        self.log: List[Tuple[float, str, str]] = []
+        self._armed = False
+        self._partitions = [
+            e for e in plan.events if isinstance(e, Partition)
+        ]
+        self._loss_windows = [
+            e for e in plan.events if isinstance(e, MediumLossWindow)
+        ]
+        self._page_loss = [
+            e for e in plan.events if isinstance(e, PageLoss)
+        ]
+        # Streams are derived lazily-by-name from the run seed; created
+        # only when the corresponding fault kind exists, so fault-free
+        # runs never consume (or even allocate) them.
+        self._rng_medium = (
+            self.sim.rng.stream("fault-medium") if self._loss_windows else None
+        )
+        self._rng_page = (
+            self.sim.rng.stream("fault-page") if self._page_loss else None
+        )
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Install hooks and schedule every timed event.  Idempotent
+        per injector; call before ``network.start()``."""
+        if self._armed:
+            return
+        self._armed = True
+        if self._partitions or self._loss_windows:
+            self.network.medium.fault_hook = self._medium_fault
+        if self._partitions or self._page_loss:
+            self.network.ras.fault_hook = self._page_fault
+        for ev in self.plan.events:
+            if isinstance(ev, NodeCrash):
+                self.sim.at(ev.at_s, self._crash, ev)
+            elif isinstance(ev, NodeRecover):
+                self.sim.at(ev.at_s, self._recover, ev)
+            elif isinstance(ev, BatteryDrain):
+                self.sim.at(ev.at_s, self._drain, ev)
+
+    # ------------------------------------------------------------------
+    # Timed events
+    # ------------------------------------------------------------------
+    def _crash(self, ev: NodeCrash) -> None:
+        node = self.network.nodes_by_id.get(ev.node_id)
+        if node is None or not node.alive:
+            self.log.append((self.sim.now, "node_crash",
+                             f"node {ev.node_id} already down"))
+            return
+        node.crash()
+        self.log.append((self.sim.now, "node_crash", f"node {ev.node_id}"))
+
+    def _recover(self, ev: NodeRecover) -> None:
+        revived = self.network.revive(ev.node_id, ev.energy_frac)
+        detail = f"node {ev.node_id}" + ("" if revived else " still alive")
+        self.log.append((self.sim.now, "node_recover", detail))
+
+    def _drain(self, ev: BatteryDrain) -> None:
+        node = self.network.nodes_by_id.get(ev.node_id)
+        if node is None or not node.alive or node.battery.infinite:
+            self.log.append((self.sim.now, "battery_drain",
+                             f"node {ev.node_id} not drainable"))
+            return
+        node.battery.drain(ev.joules, self.sim.now)
+        self.log.append((self.sim.now, "battery_drain",
+                         f"node {ev.node_id} -{ev.joules:g}J"))
+        # Surface the consequence (depletion / band change) immediately.
+        node.monitor.poll()
+
+    # ------------------------------------------------------------------
+    # Channel hooks
+    # ------------------------------------------------------------------
+    def _medium_fault(self, tx_pos, receiver: "Radio") -> bool:
+        """Per-reception loss decision (True = frame lost here)."""
+        now = self.sim.now
+        rx_pos = None
+        for ev in self._partitions:
+            if ev.start_s <= now < ev.end_s:
+                if rx_pos is None:
+                    rx_pos = receiver.position()
+                if _side(ev, tx_pos) != _side(ev, rx_pos):
+                    return True
+        for ev in self._loss_windows:
+            if ev.start_s <= now < ev.end_s:
+                if ev.region is not None:
+                    if rx_pos is None:
+                        rx_pos = receiver.position()
+                    if not (_in_region(ev.region, tx_pos)
+                            or _in_region(ev.region, rx_pos)):
+                        continue
+                if self._rng_medium.random() < ev.drop_prob:
+                    return True
+        return False
+
+    def _page_fault(
+        self, sender: "Radio", target: Optional["Radio"], broadcast: bool
+    ) -> bool:
+        """Per-burst paging loss decision (True = burst lost)."""
+        now = self.sim.now
+        for ev in self._page_loss:
+            if ev.start_s <= now < ev.end_s:
+                if self._rng_page.random() < ev.drop_prob:
+                    return True
+        if not broadcast and target is not None:
+            tx_pos = sender.position()
+            rx_pos = target.position()
+            for ev in self._partitions:
+                if (ev.start_s <= now < ev.end_s
+                        and _side(ev, tx_pos) != _side(ev, rx_pos)):
+                    return True
+        return False

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.des.core import Simulator
 from repro.net.packet import DataPacket
@@ -44,6 +44,8 @@ class PacketLog:
     def __init__(self) -> None:
         self.sent: Dict[int, DataPacket] = {}
         self.delivered_at: Dict[int, float] = {}
+        #: uid -> (time, reason) of the first protocol-level discard.
+        self.dropped: Dict[int, Tuple[float, str]] = {}
         self.latencies: List[float] = []
         self.hop_counts: List[int] = []
         self.duplicates = 0
@@ -56,10 +58,22 @@ class PacketLog:
             self.duplicates += 1
             return
         self.delivered_at[packet.uid] = now
+        # A copy that got through outranks an earlier drop of a sibling
+        # copy: the packet's end-to-end fate is "delivered".
+        self.dropped.pop(packet.uid, None)
         origin = self.sent.get(packet.uid)
         created = origin.created_at if origin is not None else packet.created_at
         self.latencies.append(now - created)
         self.hop_counts.append(packet.hops)
+
+    def on_dropped(self, packet: DataPacket, now: float, reason: str) -> None:
+        """A protocol discarded ``packet`` (buffer overflow, failed
+        discovery, unreachable host, host death ...).  First reason
+        wins; a packet already delivered is never counted as dropped,
+        so ``delivered + dropped <= sent`` always holds per uid."""
+        if packet.uid in self.delivered_at or packet.uid in self.dropped:
+            return
+        self.dropped[packet.uid] = (now, reason)
 
     # ------------------------------------------------------------------
     @property
@@ -69,6 +83,17 @@ class PacketLog:
     @property
     def delivered_count(self) -> int:
         return len(self.delivered_at)
+
+    @property
+    def dropped_count(self) -> int:
+        return len(self.dropped)
+
+    def drop_reasons(self) -> Dict[str, int]:
+        """Drops per reason (sorted by reason for stable reporting)."""
+        out: Dict[str, int] = {}
+        for _, reason in self.dropped.values():
+            out[reason] = out.get(reason, 0) + 1
+        return dict(sorted(out.items()))
 
     def delivery_rate(self) -> float:
         if not self.sent:

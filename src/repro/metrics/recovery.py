@@ -1,0 +1,77 @@
+"""Recovery-time metrics for fault-injection runs.
+
+Two notions of "recovered", both measured from each disruptive fault's
+onset (see :func:`repro.faults.plan.disruption_times`):
+
+- **delivery recovery**: time until the *next* application packet is
+  delivered anywhere in the network — the end-to-end service is
+  demonstrably alive again;
+- **invariant recovery**: time until the next violation-free
+  :class:`~repro.experiments.validate.InvariantChecker` sample — the
+  single-gateway invariant (and friends) is demonstrably restored.
+
+Both are right-censored at the horizon: a fault the network never
+recovers from contributes the remaining horizon and bumps the
+``*_unrecovered`` count, so "never came back" reads as slow, not as
+missing data.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.faults.plan import FaultPlan, disruption_times
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.validate import InvariantReport
+    from repro.metrics.collectors import PacketLog
+
+
+def _mean(vals: List[float]) -> float:
+    return sum(vals) / len(vals)
+
+
+def recovery_summary(
+    plan: FaultPlan,
+    packet_log: "PacketLog",
+    horizon_s: float,
+    invariant_report: Optional["InvariantReport"] = None,
+) -> Dict[str, float]:
+    """Reduce one faulted run to its recovery scalars.
+
+    Returns an empty dict for a plan with no disruptive events (so
+    fault-free results stay byte-identical to the pre-fault schema).
+    """
+    onsets = list(disruption_times(plan))
+    if not onsets:
+        return {}
+    out: Dict[str, float] = {"faults_injected": float(len(onsets))}
+
+    delivered = sorted(packet_log.delivered_at.values())
+    lags: List[float] = []
+    unrecovered = 0
+    for t in onsets:
+        nxt = next((d for d in delivered if d >= t), None)
+        if nxt is None:
+            unrecovered += 1
+            lags.append(horizon_s - t)
+        else:
+            lags.append(nxt - t)
+    out["mean_delivery_recovery_s"] = _mean(lags)
+    out["max_delivery_recovery_s"] = max(lags)
+    out["delivery_unrecovered"] = float(unrecovered)
+
+    if invariant_report is not None and invariant_report.samples > 0:
+        ilags: List[float] = []
+        iunrecovered = 0
+        for t in onsets:
+            clean = invariant_report.first_clean_at_or_after(t)
+            if clean is None:
+                iunrecovered += 1
+                ilags.append(horizon_s - t)
+            else:
+                ilags.append(clean - t)
+        out["mean_invariant_recovery_s"] = _mean(ilags)
+        out["max_invariant_recovery_s"] = max(ilags)
+        out["invariant_unrecovered"] = float(iunrecovered)
+    return out

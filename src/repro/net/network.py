@@ -74,6 +74,9 @@ class Network:
         config.validate()
         self.config = config
         self.params = params or ProtocolParams()
+        #: Kept so injected node recoveries can build fresh protocol
+        #: instances (see :meth:`revive`).
+        self._protocol_factory = protocol_factory
         self.sim = Simulator(seed=config.seed)
         self.grid = GridMap(config.width_m, config.height_m, config.cell_side_m)
         self.medium = Medium(self.sim, self.grid, config.medium)
@@ -115,6 +118,7 @@ class Network:
             node.protocol = protocol_factory(node, self.params, self.counters)
             node.app_sink = self._on_app_delivery
             node.death_sink = self._on_node_death
+            node.drop_sink = self._on_packet_drop
             self.nodes.append(node)
 
         self.nodes_by_id: Dict[int, Node] = {n.id: n for n in self.nodes}
@@ -122,6 +126,8 @@ class Network:
             self.sim, self.nodes, config.sample_interval_s
         )
         self._started = False
+        #: Set by :meth:`inject_faults`; None for fault-free runs.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Traffic
@@ -154,6 +160,30 @@ class Network:
             FlowSpec(src, dst, rate_pps, size_bytes) for src, dst in pairs
         ]
         return self.add_flows(specs)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` against this
+        scenario (call before :meth:`start`).  Returns the armed
+        :class:`~repro.faults.inject.FaultInjector`."""
+        from repro.faults.inject import FaultInjector
+
+        injector = FaultInjector(self, plan)
+        injector.arm()
+        self.fault_injector = injector
+        return injector
+
+    def revive(self, node_id: int, energy_frac: float = 0.5) -> bool:
+        """Reboot a crashed host with a fresh protocol instance and
+        ``energy_frac`` of its battery capacity.  Returns False if the
+        host is unknown or still alive."""
+        node = self.nodes_by_id.get(node_id)
+        if node is None or node.alive:
+            return False
+        protocol = self._protocol_factory(node, self.params, self.counters)
+        return node.revive(protocol, energy_frac)
 
     # ------------------------------------------------------------------
     # Execution
@@ -218,6 +248,9 @@ class Network:
     # ------------------------------------------------------------------
     def _on_app_delivery(self, node: Node, packet: DataPacket) -> None:
         self.packet_log.on_delivered(packet, self.sim.now)
+
+    def _on_packet_drop(self, node: Node, packet: DataPacket, reason: str) -> None:
+        self.packet_log.on_dropped(packet, self.sim.now, reason)
 
     def _on_node_death(self, node: Node) -> None:
         self.sampler.note_death(self.sim.now)

@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 AppSink = Callable[["Node", DataPacket], None]
 DeathSink = Callable[["Node"], None]
+#: ``(node, packet, reason)`` — a protocol discarded a data packet.
+DropSink = Callable[["Node", DataPacket, str], None]
 
 
 class Node:
@@ -79,6 +81,7 @@ class Node:
         self.protocol: Optional["RoutingProtocol"] = None
         self.app_sink: Optional[AppSink] = None
         self.death_sink: Optional[DeathSink] = None
+        self.drop_sink: Optional[DropSink] = None
 
         self._crossing_ev: Optional[EventHandle] = None
         medium.register(self.radio)
@@ -142,6 +145,12 @@ class Node:
         if self.app_sink is not None:
             self.app_sink(self, packet)
 
+    def report_drop(self, packet: DataPacket, reason: str) -> None:
+        """Called by the protocol when it discards a data packet, so
+        end-to-end delivery accounting sees every loss with a reason."""
+        if self.drop_sink is not None:
+            self.drop_sink(self, packet, reason)
+
     def crash(self) -> None:
         """Fail the host instantly — §3.2's "gateway is down because of
         an accident": no RETIRE, no notice, the battery is simply gone.
@@ -151,6 +160,32 @@ class Node:
             self.battery._remaining = 0.0
             self.battery.depleted = True
         self._on_depleted()
+
+    def revive(self, protocol: "RoutingProtocol", energy_frac: float = 0.5) -> bool:
+        """Reboot a crashed host with ``energy_frac`` of its battery
+        capacity and a *fresh* protocol instance (a reboot loses all
+        routing state).  Inverse of :meth:`crash`; returns False if the
+        host is still alive.  Public API for failure-injection
+        experiments — see :class:`repro.faults.inject.FaultInjector`.
+        """
+        if self.alive:
+            return False
+        if not 0.0 < energy_frac <= 1.0:
+            raise ValueError("energy_frac must be in (0, 1]")
+        now = self.sim.now
+        if not self.battery.infinite:
+            self.battery.recharge(energy_frac * self.battery.capacity_j, now)
+        self.alive = True
+        # Order matters: the monitor must be re-armed before the radio
+        # powers on, so the fresh idle draw books depletion checks.
+        self.monitor.reactivate()
+        self.radio.power_on()
+        self.medium.register(self.radio)
+        self.ras.attach(self.id, self.radio, self._on_paged)
+        self.protocol = protocol
+        self._schedule_crossing()
+        protocol.start()
+        return True
 
     # ------------------------------------------------------------------
     # Internal event plumbing

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.des.core import Simulator
 from repro.energy.profile import RadioMode
@@ -94,6 +94,9 @@ class MediumStats:
     frames_delivered: int = 0
     frames_corrupted: int = 0
     frames_missed_asleep: int = 0
+    #: Receptions killed by an injected channel fault (subset of
+    #: ``frames_corrupted``).
+    frames_fault_dropped: int = 0
     bytes_sent: int = 0
 
 
@@ -125,6 +128,13 @@ class Medium:
         self._active: List[_Transmission] = []
         self._rx_in_progress: Dict[int, List[_Reception]] = {}
         self._loss_rng = sim.rng.stream("phy-loss")
+        #: Optional fault-injection hook ``(tx_pos, receiver) -> bool``;
+        #: True means the reception is lost (the receiver still pays RX
+        #: energy — the frame is on the air, it just doesn't decode).
+        #: Installed by :class:`repro.faults.inject.FaultInjector`.
+        self.fault_hook: Optional[
+            Callable[[Vec2, Radio], bool]
+        ] = None
 
     def _rings_for(self, radius: float) -> int:
         """Bucket rings needed so every point within ``radius`` of a
@@ -291,6 +301,7 @@ class Medium:
         rx_in_progress = self._rx_in_progress
         receptions = tx.receptions
         idle = RadioMode.IDLE
+        fault_hook = self.fault_hook
         for radio in self.radios_near(pos, config.range_m):
             if radio is sender:
                 continue
@@ -302,6 +313,9 @@ class Medium:
                     stats.frames_missed_asleep += 1
                 continue
             rec = _Reception(radio)
+            if fault_hook is not None and fault_hook(pos, radio):
+                rec.corrupted = True
+                stats.frames_fault_dropped += 1
             if not unit_disk:
                 p = config.reception_probability(
                     pos.dist(radio.position())

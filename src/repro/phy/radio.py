@@ -116,6 +116,15 @@ class Radio:
         self.transmitting = False
         self._update()
 
+    def power_on(self) -> None:
+        """Inverse of :meth:`power_off` for revived hosts (failure
+        injection).  The monitor must be re-armed *before* this call so
+        the fresh idle draw books its depletion checks."""
+        self.base_mode = RadioMode.IDLE
+        self.rx_count = 0
+        self.transmitting = False
+        self._update()
+
     # ------------------------------------------------------------------
     # Medium-driven activity
     # ------------------------------------------------------------------

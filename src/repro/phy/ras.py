@@ -55,6 +55,14 @@ class RasChannel:
         self._radios: Dict[int, Radio] = {}
         self.pages_sent = 0
         self.broadcast_pages_sent = 0
+        self.pages_fault_dropped = 0
+        #: Optional fault hook ``(sender, target_radio_or_None,
+        #: broadcast) -> bool``; True kills the burst in the air (the
+        #: sender still pays for it).  Installed by
+        #: :class:`repro.faults.inject.FaultInjector`.
+        self.fault_hook: Optional[
+            Callable[[Radio, Optional[Radio], bool], bool]
+        ] = None
 
     def attach(self, node_id: int, radio: Radio, handler: PageHandler) -> None:
         """Register a host's RAS receiver."""
@@ -75,6 +83,11 @@ class RasChannel:
         self.pages_sent += 1
         self._charge_sender(sender)
         target_radio = self._radios.get(target_id)
+        if self.fault_hook is not None and self.fault_hook(
+            sender, target_radio, False
+        ):
+            self.pages_fault_dropped += 1
+            return False
         if target_radio is None or not target_radio.alive:
             return False
         if sender.position().dist(target_radio.position()) > self.medium.config.range_m:
@@ -91,6 +104,9 @@ class RasChannel:
         how many RAS receivers fired."""
         self.broadcast_pages_sent += 1
         self._charge_sender(sender)
+        if self.fault_hook is not None and self.fault_hook(sender, None, True):
+            self.pages_fault_dropped += 1
+            return 0
         fired = 0
         pos = sender.position()
         for radio in self.medium.radios_near(pos, self.medium.config.range_m):

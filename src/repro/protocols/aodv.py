@@ -267,8 +267,8 @@ class AodvProtocol(RoutingProtocol):
             self._send_rreq(d)
         if packet is not None:
             if len(d.queue) >= self.aodv.buffer_limit:
-                d.queue.popleft()
                 self.counters.inc("buffer_drops")
+                self.node.report_drop(d.queue.popleft(), "buffer_overflow")
             d.queue.append(packet)
 
     def _send_rreq(self, d: _Discovery) -> None:
@@ -303,6 +303,8 @@ class AodvProtocol(RoutingProtocol):
         if d.retries > self.aodv.rreq_retries:
             self.counters.inc("aodv_discovery_failures")
             self.counters.inc("data_dropped_no_route", len(d.queue))
+            while d.queue:
+                self.node.report_drop(d.queue.popleft(), "no_route")
             del self.discoveries[dst]
             return
         d.ttl = self.aodv.net_diameter

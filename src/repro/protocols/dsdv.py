@@ -212,8 +212,8 @@ class DsdvProtocol(RoutingProtocol):
             # briefly in case an advert is about to arrive.
             buf = self._undeliverable.setdefault(packet.dst, [])
             if len(buf) >= self.dsdv.buffer_limit:
-                buf.pop(0)
                 self.counters.inc("buffer_drops")
+                self.node.report_drop(buf.pop(0), "buffer_overflow")
             buf.append(packet)
             self.counters.inc("dsdv_no_route")
             return

@@ -290,8 +290,8 @@ class SpanProtocol(AodvProtocol):
             return
         self.counters.inc("span_deferred")
         if len(self._deferred) >= self.aodv.buffer_limit:
-            self._deferred.popleft()
             self.counters.inc("buffer_drops")
+            self.node.report_drop(self._deferred.popleft(), "buffer_overflow")
         self._deferred.append(packet)
 
     def _flush_deferred(self) -> None:

@@ -46,3 +46,33 @@ def test_fig_with_seeds_flag(capsys):
     rc = main(["fig4", "--scale", "0.08", "--seed", "3", "--seeds", "2"])
     assert rc == 0
     assert "mean of 2 seeds" in capsys.readouterr().out
+
+
+def test_run_with_faults_plan(tmp_path, capsys):
+    """A JSON fault plan round-trips through the CLI: the run reports
+    injected faults and recovery scalars in its summary."""
+    from repro.faults.plan import standard_fault_plan
+
+    plan = standard_fault_plan(
+        0.5, sim_time_s=30.0, width_m=320.0, height_m=320.0,
+        n_hosts=8, initial_energy_j=40.0,
+    )
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    rc = main([
+        "run", "--protocol", "ecgrid", "--hosts", "8", "--time", "30",
+        "--area", "320", "--flows", "2", "--energy", "40", "--seed", "3",
+        "--faults", str(path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "delivery" in out
+    assert "faults" in out and "recovery" in out
+
+
+def test_run_rejects_malformed_faults_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text('{"events": [{"kind": "solar_flare"}]}')
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        main(["run", "--hosts", "8", "--time", "10", "--area", "320",
+              "--faults", str(path)])

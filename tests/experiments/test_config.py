@@ -75,3 +75,27 @@ def test_describe_mentions_protocol_and_seed():
     text = ExperimentConfig(protocol="grid", seed=9).describe()
     assert "grid" in text
     assert "seed=9" in text
+
+
+# ----------------------------------------------------------------------
+# Cache identity vs. code version
+# ----------------------------------------------------------------------
+def test_cache_key_stable_within_process():
+    assert ExperimentConfig().cache_key() == ExperimentConfig().cache_key()
+
+
+def test_cache_version_mentions_package_version():
+    import repro
+    from repro.experiments.config import cache_version
+
+    assert cache_version().startswith(repro.__version__ + "+")
+
+
+def test_cache_key_misses_after_version_bump(monkeypatch):
+    """Results cached by an older build must not satisfy a newer one."""
+    from repro.experiments import config as config_mod
+
+    cfg = ExperimentConfig()
+    old = cfg.cache_key()
+    monkeypatch.setattr(config_mod, "_CACHE_VERSION", "9.9.9+0123456789abcdef")
+    assert cfg.cache_key() != old

@@ -25,10 +25,28 @@ def test_mean_series_on_shared_grid():
     assert mean_series([a, b]) == [(0.0, 0.5), (10.0, 1.0)]
 
 
-def test_mean_series_intersects_x():
+def test_mean_series_uses_union_grid():
     a = [(0.0, 1.0), (10.0, 0.5), (20.0, 0.1)]
     b = [(0.0, 0.0), (10.0, 1.5)]
-    assert [x for x, _ in mean_series([a, b])] == [0.0, 10.0]
+    # b's last value (1.5) carries forward to x=20.
+    assert mean_series([a, b]) == [
+        (0.0, 0.5),
+        (10.0, 1.0),
+        (20.0, pytest.approx((0.1 + 1.5) / 2)),
+    ]
+
+
+def test_mean_series_disjoint_grids_not_empty():
+    # Regression: replicates whose sample times never coincide (e.g.
+    # per-seed death times) used to reduce to an empty curve.
+    a = [(0.0, 1.0), (10.0, 0.0)]
+    b = [(5.0, 1.0), (15.0, 0.0)]
+    got = mean_series([a, b])
+    assert [x for x, _ in got] == [0.0, 5.0, 10.0, 15.0]
+    # Before b's first sample its first value extends backward.
+    assert got[0] == (0.0, 1.0)
+    assert got[2] == (10.0, 0.5)
+    assert got[3] == (15.0, 0.0)
 
 
 def test_mean_series_empty():

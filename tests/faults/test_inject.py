@@ -1,0 +1,211 @@
+"""FaultInjector behavior against live networks: timed events (crash,
+recover, drain), the channel hooks (partition, loss windows, page
+loss), and the fault-free guarantee that nothing is installed."""
+
+import pytest
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    BatteryDrain,
+    FaultPlan,
+    MediumLossWindow,
+    NodeCrash,
+    NodeRecover,
+    PageLoss,
+    Partition,
+)
+
+from tests.helpers import line_positions, make_static_network
+
+
+def make_net(n=4, **kw):
+    return make_static_network(line_positions(n), **kw)
+
+
+# ----------------------------------------------------------------------
+# Timed events
+# ----------------------------------------------------------------------
+def test_crash_event_kills_node_at_time():
+    net = make_net()
+    net.inject_faults(FaultPlan((NodeCrash(at_s=5.0, node_id=1),)))
+    net.run(until=4.9)
+    assert net.nodes_by_id[1].alive
+    net.sim.run(until=5.1)
+    assert not net.nodes_by_id[1].alive
+    assert (5.0, "node_crash", "node 1") in net.fault_injector.log
+
+
+def test_crash_of_already_dead_node_is_noop():
+    net = make_net()
+    net.inject_faults(FaultPlan((
+        NodeCrash(at_s=5.0, node_id=1),
+        NodeCrash(at_s=6.0, node_id=1),
+    )))
+    net.run(until=7.0)
+    assert (6.0, "node_crash", "node 1 already down") in net.fault_injector.log
+
+
+def test_recover_revives_with_fresh_protocol_and_partial_battery():
+    net = make_net()
+    old_protocol = net.nodes_by_id[1].protocol
+    net.inject_faults(FaultPlan((
+        NodeCrash(at_s=5.0, node_id=1),
+        NodeRecover(at_s=10.0, node_id=1, energy_frac=0.5),
+    )))
+    net.run(until=10.0)
+    node = net.nodes_by_id[1]
+    assert node.alive
+    # A reboot loses all routing state: brand-new protocol instance.
+    assert node.protocol is not old_protocol
+    # The battery came back at half capacity (at t=10.0 exactly, before
+    # any post-revival draw is settled).
+    assert node.battery.remaining_at(net.sim.now) == pytest.approx(
+        0.5 * node.battery.capacity_j
+    )
+    # And the revived host rejoins the protocol machinery.
+    net.sim.run(until=20.0)
+    assert node.alive
+    assert node.protocol.role is not None
+
+
+def test_recover_of_alive_node_is_noop():
+    net = make_net()
+    protocol = net.nodes_by_id[2].protocol
+    net.inject_faults(FaultPlan((
+        NodeRecover(at_s=5.0, node_id=2),
+    )))
+    net.run(until=6.0)
+    assert net.nodes_by_id[2].protocol is protocol
+    assert (5.0, "node_recover", "node 2 still alive") in net.fault_injector.log
+
+
+def test_drain_removes_energy_and_can_kill():
+    net = make_net(energy_j=100.0)
+    net.inject_faults(FaultPlan((
+        BatteryDrain(at_s=5.0, node_id=1, joules=50.0),
+        BatteryDrain(at_s=6.0, node_id=2, joules=1e6),
+    )))
+    net.run(until=7.0)
+    # Node 1 lost 50 J on top of its ordinary draw.
+    assert net.nodes_by_id[1].alive
+    assert net.nodes_by_id[1].battery.remaining_at(net.sim.now) < 50.0
+    # Node 2 was drained past zero: the monitor poll killed it at t=6,
+    # not at the next conservative check.
+    assert not net.nodes_by_id[2].alive
+    assert net.sim.now == 7.0
+
+
+# ----------------------------------------------------------------------
+# Channel hooks
+# ----------------------------------------------------------------------
+def test_partition_severs_cross_boundary_frames_only_in_window():
+    net = make_net(6)
+    net.inject_faults(FaultPlan((
+        Partition(start_s=10.0, end_s=20.0, axis="x", boundary_m=300.0),
+    )))
+    inj = net.fault_injector
+    left, right = net.nodes_by_id[0].radio, net.nodes_by_id[5].radio
+    net.run(until=15.0)  # inside the window
+    assert inj._medium_fault(left.position(), right) is True
+    assert inj._medium_fault(right.position(), left) is True
+    # Same side: unaffected.
+    assert inj._medium_fault(left.position(), net.nodes_by_id[1].radio) is False
+    net.sim.run(until=25.0)  # window over
+    assert inj._medium_fault(left.position(), right) is False
+
+
+def test_partition_blocks_unicast_pages_not_broadcast():
+    net = make_net(6)
+    net.inject_faults(FaultPlan((
+        Partition(start_s=0.0, end_s=20.0, axis="x", boundary_m=300.0),
+    )))
+    inj = net.fault_injector
+    left, right = net.nodes_by_id[0].radio, net.nodes_by_id[5].radio
+    net.run(until=5.0)
+    assert inj._page_fault(left, right, broadcast=False) is True
+    # Broadcast pages are local to the sender's cell: never partitioned.
+    assert inj._page_fault(left, None, broadcast=True) is False
+
+
+def test_medium_loss_window_drops_frames_and_counts_them():
+    net = make_net()
+    net.inject_faults(FaultPlan((
+        MediumLossWindow(start_s=0.0, end_s=30.0, drop_prob=1.0),
+    )))
+    net.run(until=30.0)
+    # Every reception in the window was corrupted by the fault.
+    assert net.medium.stats.frames_fault_dropped > 0
+    assert net.medium.stats.frames_delivered == 0
+
+
+def test_medium_loss_region_restricts_the_fault():
+    net = make_net(6)
+    net.inject_faults(FaultPlan((
+        MediumLossWindow(start_s=0.0, end_s=30.0, drop_prob=1.0,
+                         region=(0.0, 0.0, 120.0, 1000.0)),
+    )))
+    inj = net.fault_injector
+    net.run(until=5.0)
+    inside = net.nodes_by_id[0].radio    # x = 50
+    outside_a = net.nodes_by_id[4].radio  # x = 450
+    outside_b = net.nodes_by_id[5].radio  # x = 550
+    assert inj._medium_fault(inside.position(), outside_a) is True
+    assert inj._medium_fault(outside_a.position(), outside_b) is False
+
+
+def test_page_loss_drops_bursts_and_counts_them():
+    net = make_net()
+    net.inject_faults(FaultPlan((
+        PageLoss(start_s=0.0, end_s=30.0, drop_prob=1.0),
+    )))
+    net.run(until=2.0)
+    before = net.ras.pages_fault_dropped
+    assert net.ras.page_host(net.nodes_by_id[0].radio, 1) is False
+    assert net.ras.pages_fault_dropped == before + 1
+    assert net.ras.page_grid(net.nodes_by_id[0].radio, (0, 0)) == 0
+    assert net.ras.pages_fault_dropped == before + 2
+
+
+# ----------------------------------------------------------------------
+# Arming and the fault-free guarantee
+# ----------------------------------------------------------------------
+def test_no_hooks_installed_without_channel_faults():
+    net = make_net()
+    net.inject_faults(FaultPlan((NodeCrash(at_s=5.0, node_id=1),)))
+    assert net.medium.fault_hook is None
+    assert net.ras.fault_hook is None
+
+
+def test_fault_free_network_has_no_injector():
+    net = make_net()
+    assert net.fault_injector is None
+    assert net.medium.fault_hook is None
+    assert net.ras.fault_hook is None
+    net.run(until=5.0)
+    assert net.medium.stats.frames_fault_dropped == 0
+
+
+def test_arm_is_idempotent():
+    net = make_net()
+    inj = FaultInjector(net, FaultPlan((NodeCrash(at_s=5.0, node_id=1),)))
+    inj.arm()
+    events_before = len(net.sim._queue)
+    inj.arm()
+    assert len(net.sim._queue) == events_before
+
+
+def test_probabilistic_faults_use_dedicated_streams():
+    """Identical seeds and plans draw identical fault decisions."""
+    def decisions(seed):
+        net = make_net(seed=seed)
+        net.inject_faults(FaultPlan((
+            MediumLossWindow(start_s=0.0, end_s=30.0, drop_prob=0.5),
+        )))
+        inj = net.fault_injector
+        net.run(until=1.0)
+        rx = net.nodes_by_id[1].radio
+        pos = net.nodes_by_id[0].radio.position()
+        return [inj._medium_fault(pos, rx) for _ in range(64)]
+
+    assert decisions(7) == decisions(7)
+    assert True in decisions(7) and False in decisions(7)

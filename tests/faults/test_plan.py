@@ -1,0 +1,157 @@
+"""FaultPlan value semantics: typed events, JSON round-trips, the
+graduated standard plan, and disruption-onset extraction."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    EVENT_TYPES,
+    BatteryDrain,
+    FaultPlan,
+    MediumLossWindow,
+    NodeCrash,
+    NodeRecover,
+    PageLoss,
+    Partition,
+    disruption_times,
+    event_from_dict,
+    standard_fault_plan,
+)
+
+ALL_EVENTS = (
+    NodeCrash(at_s=10.0, node_id=3),
+    NodeRecover(at_s=50.0, node_id=3, energy_frac=0.25),
+    PageLoss(start_s=5.0, end_s=15.0, drop_prob=0.7),
+    MediumLossWindow(start_s=20.0, end_s=30.0, drop_prob=0.4,
+                     region=(0.0, 0.0, 500.0, 500.0)),
+    Partition(start_s=40.0, end_s=60.0, axis="y", boundary_m=250.0),
+    BatteryDrain(at_s=12.0, node_id=7, joules=100.0),
+)
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+def test_every_kind_round_trips_through_dict():
+    for ev in ALL_EVENTS:
+        plan = FaultPlan((ev,))
+        (restored,) = FaultPlan.from_dict(plan.to_dict()).events
+        assert restored == ev
+        assert type(restored) is type(ev)
+
+
+def test_kind_tags_cover_every_event_class():
+    assert set(EVENT_TYPES) == {
+        "node_crash", "node_recover", "page_loss",
+        "medium_loss", "partition", "battery_drain",
+    }
+
+
+def test_unknown_kind_rejected_with_choices():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        event_from_dict({"kind": "solar_flare", "at_s": 1.0})
+
+
+def test_region_list_from_json_becomes_tuple():
+    ev = event_from_dict({
+        "kind": "medium_loss", "start_s": 0.0, "end_s": 1.0,
+        "drop_prob": 0.5, "region": [0, 0, 10, 10],
+    })
+    assert ev.region == (0.0, 0.0, 10.0, 10.0)
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+def test_plan_json_round_trip_is_lossless():
+    plan = FaultPlan(ALL_EVENTS, name="kitchen-sink")
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    # And the JSON itself is plain data (no repr leakage).
+    data = json.loads(plan.to_json())
+    assert {e["kind"] for e in data["events"]} == set(EVENT_TYPES)
+
+
+def test_plan_is_hashable_and_usable_as_axis_value():
+    a = FaultPlan(ALL_EVENTS, name="a")
+    b = FaultPlan(ALL_EVENTS, name="a")
+    assert a == b and hash(a) == hash(b)
+    assert {a: 1}[b] == 1
+    # str() is what SweepPoint.key() embeds: names must disambiguate.
+    assert str(a) == "a"
+    assert str(FaultPlan(ALL_EVENTS)) == f"faults[{len(ALL_EVENTS)}]"
+
+
+def test_plan_coerces_list_events_and_bools():
+    plan = FaultPlan([NodeCrash(at_s=1.0, node_id=0)])
+    assert isinstance(plan.events, tuple)
+    assert plan
+    assert not FaultPlan()
+
+
+# ----------------------------------------------------------------------
+# standard_fault_plan
+# ----------------------------------------------------------------------
+STD_KW = dict(sim_time_s=100.0, width_m=500.0, height_m=500.0,
+              n_hosts=20, initial_energy_j=100.0)
+
+
+def test_standard_plan_zero_intensity_is_empty():
+    plan = standard_fault_plan(0.0, **STD_KW)
+    assert not plan.events
+    assert plan.name == "std-0"
+
+
+def test_standard_plan_mixes_at_least_three_kinds():
+    plan = standard_fault_plan(0.5, **STD_KW)
+    kinds = {ev.kind for ev in plan.events}
+    assert len(kinds) >= 3
+    assert {"partition", "medium_loss", "page_loss", "node_crash"} <= kinds
+    # Every event lies inside the horizon.
+    for ev in plan.events:
+        t0 = getattr(ev, "at_s", None)
+        if t0 is None:
+            t0 = ev.start_s
+        assert 0.0 <= t0 <= STD_KW["sim_time_s"]
+
+
+def test_standard_plan_scales_with_intensity():
+    mild = standard_fault_plan(0.1, **STD_KW)
+    harsh = standard_fault_plan(1.0, **STD_KW)
+    crashes = lambda p: [e for e in p.events if isinstance(e, NodeCrash)]
+    assert len(crashes(harsh)) > len(crashes(mild))
+    loss = lambda p: next(
+        e for e in p.events if isinstance(e, MediumLossWindow)
+    ).drop_prob
+    assert loss(harsh) > loss(mild)
+    assert mild.name == "std-0.1" and harsh.name == "std-1"
+
+
+def test_standard_plan_is_deterministic():
+    assert standard_fault_plan(0.7, **STD_KW) == standard_fault_plan(0.7, **STD_KW)
+
+
+def test_standard_plan_rejects_out_of_range_intensity():
+    for bad in (-0.1, 1.5):
+        with pytest.raises(ValueError, match="intensity"):
+            standard_fault_plan(bad, **STD_KW)
+
+
+# ----------------------------------------------------------------------
+# disruption_times
+# ----------------------------------------------------------------------
+def test_disruption_times_sorted_and_exclude_recoveries():
+    plan = FaultPlan(ALL_EVENTS)
+    times = disruption_times(plan)
+    assert list(times) == sorted(times)
+    assert 50.0 not in times  # the NodeRecover onset
+    assert set(times) == {10.0, 5.0, 20.0, 40.0, 12.0}
+
+
+def test_disruption_times_deduplicate():
+    plan = FaultPlan((
+        NodeCrash(at_s=10.0, node_id=1),
+        BatteryDrain(at_s=10.0, node_id=2, joules=5.0),
+    ))
+    assert list(disruption_times(plan)) == [10.0]

@@ -1,0 +1,76 @@
+"""recovery_summary: the reduction from fault onsets + packet log +
+invariant samples to the recovery scalars exported with each result."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.validate import InvariantReport
+from repro.faults.plan import FaultPlan, NodeCrash, Partition
+from repro.metrics.recovery import recovery_summary
+
+
+def log_with(delivered_times):
+    return SimpleNamespace(
+        delivered_at={i: t for i, t in enumerate(delivered_times)}
+    )
+
+
+PLAN = FaultPlan((
+    NodeCrash(at_s=10.0, node_id=0),
+    Partition(start_s=40.0, end_s=60.0, axis="x", boundary_m=100.0),
+))
+
+
+def test_empty_plan_yields_empty_summary():
+    out = recovery_summary(FaultPlan(), log_with([1.0, 2.0]), horizon_s=100.0)
+    assert out == {}
+
+
+def test_delivery_recovery_measures_next_delivery_after_onset():
+    out = recovery_summary(PLAN, log_with([5.0, 13.0, 45.0]), horizon_s=100.0)
+    assert out["faults_injected"] == 2.0
+    # onset 10 -> delivered at 13 (lag 3); onset 40 -> 45 (lag 5).
+    assert out["mean_delivery_recovery_s"] == pytest.approx(4.0)
+    assert out["max_delivery_recovery_s"] == pytest.approx(5.0)
+    assert out["delivery_unrecovered"] == 0.0
+
+
+def test_unrecovered_fault_is_right_censored_not_dropped():
+    # Nothing delivered after the partition at t=40.
+    out = recovery_summary(PLAN, log_with([5.0, 13.0]), horizon_s=100.0)
+    assert out["delivery_unrecovered"] == 1.0
+    # Censored lag: horizon - onset = 60, dominating the mean.
+    assert out["max_delivery_recovery_s"] == pytest.approx(60.0)
+    assert out["mean_delivery_recovery_s"] == pytest.approx((3.0 + 60.0) / 2)
+
+
+def test_invariant_recovery_reads_clean_sample_times():
+    report = InvariantReport(samples=5, clean_times=[5.0, 15.0, 70.0])
+    out = recovery_summary(
+        PLAN, log_with([13.0, 45.0]), horizon_s=100.0,
+        invariant_report=report,
+    )
+    # onset 10 -> clean sample at 15 (lag 5); onset 40 -> 70 (lag 30).
+    assert out["mean_invariant_recovery_s"] == pytest.approx(17.5)
+    assert out["max_invariant_recovery_s"] == pytest.approx(30.0)
+    assert out["invariant_unrecovered"] == 0.0
+
+
+def test_invariant_recovery_censors_when_never_clean_again():
+    report = InvariantReport(samples=5, clean_times=[5.0])
+    out = recovery_summary(
+        PLAN, log_with([13.0, 45.0]), horizon_s=100.0,
+        invariant_report=report,
+    )
+    assert out["invariant_unrecovered"] == 2.0
+    assert out["max_invariant_recovery_s"] == pytest.approx(90.0)
+
+
+def test_report_without_samples_contributes_nothing():
+    out = recovery_summary(
+        PLAN, log_with([13.0, 45.0]), horizon_s=100.0,
+        invariant_report=InvariantReport(),
+    )
+    assert "mean_invariant_recovery_s" not in out
+    assert "mean_delivery_recovery_s" in out

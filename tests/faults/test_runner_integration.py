@@ -1,0 +1,137 @@
+"""Faults through the experiment harness: deterministic runs, schema
+round-trips, cache-key sensitivity, sweep axes, and the resilience
+figure."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import result_from_dict, result_to_dict
+from repro.experiments.figures import figure
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import SweepRunner, SweepSpec
+from repro.faults.plan import FaultPlan, NodeCrash, standard_fault_plan
+
+TINY = dict(
+    n_hosts=8, width_m=300.0, height_m=300.0, n_flows=2,
+    sim_time_s=20.0, initial_energy_j=50.0,
+)
+
+
+def tiny_config(**kw) -> ExperimentConfig:
+    return ExperimentConfig(**{**TINY, **kw})
+
+
+def tiny_plan(intensity=0.5) -> FaultPlan:
+    return standard_fault_plan(
+        intensity,
+        sim_time_s=TINY["sim_time_s"],
+        width_m=TINY["width_m"],
+        height_m=TINY["height_m"],
+        n_hosts=TINY["n_hosts"],
+        initial_energy_j=TINY["initial_energy_j"],
+    )
+
+
+def metrics(result) -> dict:
+    d = result_to_dict(result)
+    d.pop("wall_time_s")
+    return d
+
+
+@pytest.fixture(scope="module")
+def faulted_result():
+    return run_experiment(tiny_config(protocol="ecgrid", seed=3,
+                                      faults=tiny_plan()))
+
+
+def test_faulted_run_is_deterministic(faulted_result):
+    again = run_experiment(tiny_config(protocol="ecgrid", seed=3,
+                                       faults=tiny_plan()))
+    assert metrics(again) == metrics(faulted_result)
+
+
+def test_faulted_result_carries_recovery_scalars(faulted_result):
+    rec = faulted_result.recovery
+    assert rec["faults_injected"] >= 3.0
+    assert rec["mean_delivery_recovery_s"] >= 0.0
+    assert "drops" not in rec  # drops live in their own fields
+    assert "faults" in faulted_result.summary()
+
+
+def test_fault_free_result_has_empty_recovery():
+    result = run_experiment(tiny_config(protocol="grid", seed=3))
+    assert result.recovery == {}
+    assert "faults" not in result.summary()
+
+
+def test_faulted_result_round_trips_schema(faulted_result):
+    restored = result_from_dict(result_to_dict(faulted_result))
+    assert metrics(restored) == metrics(faulted_result)
+    assert restored.config.faults == faulted_result.config.faults
+
+
+def test_config_dict_round_trip_preserves_plan():
+    cfg = tiny_config(faults=tiny_plan())
+    restored = ExperimentConfig.from_dict(cfg.to_dict())
+    assert restored.faults == cfg.faults
+    assert restored.cache_key() == cfg.cache_key()
+
+
+def test_cache_key_distinguishes_plans():
+    base = tiny_config()
+    keys = {
+        base.cache_key(),
+        replace(base, faults=tiny_plan(0.25)).cache_key(),
+        replace(base, faults=tiny_plan(0.5)).cache_key(),
+    }
+    assert len(keys) == 3
+
+
+def test_faults_is_a_sweep_axis():
+    plans = [tiny_plan(0.0), tiny_plan(0.5)]
+    spec = SweepSpec(
+        "t", base=tiny_config(protocol="grid"),
+        axes={"faults": plans, "seed": [3]},
+    )
+    points = spec.expand()
+    assert [p.config.faults for p in points] == plans
+    assert len({p.key() for p in points}) == 2
+
+
+def test_resilience_figure_exports_curves():
+    fig = figure(
+        "resilience", scale=0.06, seed=3,
+        intensities=(0.0, 0.5), protocols=("ecgrid",),
+        runner=SweepRunner(workers=0, cache=None),
+    )
+    assert "ecgrid:delivery_pct" in fig.series
+    xs = [x for x, _ in fig.series["ecgrid:delivery_pct"]]
+    assert xs == [0.0, 0.5]
+    # Recovery latency exists only where faults were injected.
+    rec = dict(fig.series["ecgrid:recovery_s"])
+    assert set(rec) == {0.5}
+    assert rec[0.5] >= 0.0
+
+
+def test_crash_surfaces_in_drop_accounting():
+    """Adversity turns undeliverable packets into per-reason drops, not
+    silent losses: a flow towards a crashed half of the field keeps
+    sending, and every lost packet shows up with a reason."""
+    from repro.traffic.flowset import FlowSpec
+
+    from tests.helpers import line_positions, make_static_network
+
+    net = make_static_network(line_positions(6))
+    net.add_flows([FlowSpec(src_id=0, dst_id=5, rate_pps=2.0)])
+    net.inject_faults(FaultPlan(tuple(
+        NodeCrash(at_s=10.0, node_id=i) for i in (3, 4, 5)
+    )))
+    net.run(until=40.0)
+    log = net.packet_log
+    assert log.sent_count > log.delivered_count
+    assert log.dropped_count > 0
+    reasons = log.drop_reasons()
+    assert sum(reasons.values()) == log.dropped_count
+    assert log.delivered_count + log.dropped_count <= log.sent_count

@@ -1,10 +1,24 @@
-"""Failure injection: crashes, partitions, buffer pressure."""
+"""Failure injection: crashes, partitions, buffer pressure.
+
+Crashes are driven through the declarative fault subsystem
+(:mod:`repro.faults`) — the same path ``ecgrid run --faults`` and the
+resilience figure use — rather than by poking node internals.
+"""
 
 from repro.core.base import Role
+from repro.faults.plan import FaultPlan, NodeCrash, NodeRecover
 from repro.net.packet import DataPacket
 from repro.protocols.base import ProtocolParams
 
 from tests.helpers import make_static_network
+
+
+def crash_now(net, node_id: int) -> None:
+    """Inject an immediate crash through a one-event fault plan."""
+    net.inject_faults(FaultPlan((
+        NodeCrash(at_s=net.sim.now, node_id=node_id),
+    )))
+    net.sim.run(until=net.sim.now)
 
 
 def test_forwarder_crash_triggers_reroute_or_rerr():
@@ -28,7 +42,8 @@ def test_forwarder_crash_triggers_reroute_or_rerr():
     assert entry is not None
     victim_id = net.nodes[0].protocol._gateway_of(entry.next_cell)
     assert victim_id not in (None, 0, 4)
-    net.nodes_by_id[victim_id]._on_depleted()
+    crash_now(net, victim_id)
+    assert not net.nodes_by_id[victim_id].alive
 
     p2 = DataPacket(src=0, dst=4, created_at=net.sim.now)
     net.packet_log.on_sent(p2)
@@ -36,6 +51,26 @@ def test_forwarder_crash_triggers_reroute_or_rerr():
     net.sim.run(until=net.sim.now + 10.0)
     assert p2.uid in net.packet_log.delivered_at
     assert net.counters.get("forward_failures", 0) >= 1
+
+
+def test_crashed_forwarder_recovers_and_forwards_again():
+    """After a NodeRecover the rebooted host rejoins the grid and the
+    route through it works again."""
+    net = make_static_network(
+        [(50, 50), (150, 50), (250, 50), (350, 50), (450, 50)]
+    )
+    net.inject_faults(FaultPlan((
+        NodeCrash(at_s=10.0, node_id=2),
+        NodeRecover(at_s=20.0, node_id=2, energy_frac=0.8),
+    )))
+    net.run(until=35.0)  # recovered host had time to re-elect itself
+    assert net.nodes_by_id[2].alive
+    assert net.nodes_by_id[2].protocol.role is Role.GATEWAY
+    p = DataPacket(src=0, dst=4, created_at=net.sim.now)
+    net.packet_log.on_sent(p)
+    net.nodes[0].send_data(p)
+    net.sim.run(until=net.sim.now + 10.0)
+    assert p.uid in net.packet_log.delivered_at
 
 
 def test_unreachable_destination_drops_after_retries():
@@ -48,6 +83,9 @@ def test_unreachable_destination_drops_after_retries():
     assert p.uid not in net.packet_log.delivered_at
     assert net.counters.get("discovery_failures", 0) >= 1
     assert net.counters.get("data_dropped_no_route", 0) >= 1
+    # The loss is visible per-packet, with its reason.
+    assert p.uid in net.packet_log.dropped
+    assert net.packet_log.drop_reasons().get("no_route", 0) >= 1
 
 
 def test_buffer_limit_enforced_during_discovery():
@@ -56,9 +94,11 @@ def test_buffer_limit_enforced_during_discovery():
     net.run(until=8.0)
     for _ in range(20):
         p = DataPacket(src=0, dst=1, created_at=net.sim.now)
+        net.packet_log.on_sent(p)
         net.nodes[0].send_data(p)
     net.sim.run(until=net.sim.now + 5.0)
     assert net.counters.get("buffer_drops", 0) >= 1
+    assert net.packet_log.drop_reasons().get("buffer_overflow", 0) >= 1
 
 
 def test_whole_grid_death_does_not_crash_simulation():
@@ -77,7 +117,7 @@ def test_dead_gateway_neighbors_expire_from_tables():
     # Every gateway knows its neighbors.
     p1 = net.nodes[1].protocol
     assert (0, 0) in p1.neighbor_gateways
-    net.nodes[0]._on_depleted()
+    crash_now(net, 0)
     # After the freshness horizon the stale entry is purged on access.
     net.sim.run(until=net.sim.now + 12.0)
     assert p1._gateway_of((0, 0)) is None

@@ -76,6 +76,42 @@ def test_empty_log_defaults():
     assert log.mean_hops() == 0.0
 
 
+def test_drop_accounting_first_reason_wins():
+    log = PacketLog()
+    p = DataPacket(src=0, dst=1, created_at=0.0)
+    log.on_sent(p)
+    log.on_dropped(p, 2.0, "no_route")
+    log.on_dropped(p, 3.0, "buffer_overflow")
+    assert log.dropped_count == 1
+    assert log.dropped[p.uid] == (2.0, "no_route")
+    assert log.drop_reasons() == {"no_route": 1}
+
+
+def test_delivered_packet_never_counts_as_dropped():
+    log = PacketLog()
+    p = DataPacket(src=0, dst=1, created_at=0.0)
+    log.on_sent(p)
+    log.on_delivered(p, 1.0)
+    log.on_dropped(p, 2.0, "host_unreachable")
+    assert log.dropped_count == 0
+    assert log.delivered_count == 1
+
+
+def test_drop_reasons_sorted_and_tallied():
+    log = PacketLog()
+    reasons = ["no_route", "buffer_overflow", "no_route", "node_died"]
+    for i, reason in enumerate(reasons):
+        p = DataPacket(src=0, dst=1, created_at=0.0)
+        log.on_sent(p)
+        log.on_dropped(p, float(i), reason)
+    assert log.drop_reasons() == {
+        "buffer_overflow": 1, "no_route": 2, "node_died": 1,
+    }
+    assert list(log.drop_reasons()) == sorted(log.drop_reasons())
+    # Per-uid ledgers never overlap.
+    assert not set(log.dropped) & set(log.delivered_at)
+
+
 def test_energy_sampler_series():
     net = make_static_network([(50, 50), (250, 50)], protocol="grid",
                               energy_j=20.0)
