@@ -1,0 +1,49 @@
+"""Thousand-node scale guard against ``BENCH_scale.json``.
+
+Replays the pinned scale-suite scenarios (see
+:mod:`repro.perf.bench`) — the paper's host density held constant while
+the population grows to 500 / 1000 / 2000 hosts — and fails if
+events/sec dropped more than 20% below the most recent record in the
+repository's scale trajectory file.  Skips scenarios with no record —
+first run on a fresh machine should be ``ecgrid bench --suite scale``
+to establish the local baseline, since absolute events/sec is only
+comparable on the same hardware.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_scale.py -q
+"""
+
+import os
+
+import pytest
+
+from repro.perf import bench
+
+#: The trajectory file lives at the repository root.
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    bench.SCALE_PATH,
+)
+
+#: Allowed slowdown vs the latest record (wall-clock noise margin).
+TOLERANCE = 0.20
+
+
+@pytest.mark.parametrize("scenario", sorted(bench.SCALE_SCENARIOS))
+def test_scale_within_tolerance_of_latest_record(scenario):
+    latest = bench.latest_for(scenario, path=BENCH_PATH)
+    if latest is None:
+        pytest.skip(
+            f"no {scenario} record in {bench.SCALE_PATH}; run "
+            "`ecgrid bench --suite scale` to establish a local baseline"
+        )
+    measured = bench.run_scenario(scenario)
+    # Determinism cross-check: the event count is hardware-independent.
+    assert measured["events"] == latest["events"]
+    floor = (1.0 - TOLERANCE) * latest["events_per_sec"]
+    assert measured["events_per_sec"] >= floor, (
+        f"{scenario} regressed: {measured['events_per_sec']:,.0f} ev/s vs "
+        f"recorded {latest['events_per_sec']:,.0f} ev/s "
+        f"(floor {floor:,.0f})"
+    )

@@ -121,17 +121,29 @@ def main(argv=None) -> int:
         help="run the pinned kernel benchmark and append to BENCH_kernel.json",
     )
     bench_p.add_argument(
-        "--scenario", action="append", choices=sorted(bench_mod.REFERENCE_SCENARIOS),
-        help="pinned scenario to run (repeatable; default: all)",
+        "--suite", choices=sorted(bench_mod.SUITES), default="kernel",
+        help="scenario suite: 'kernel' (reference topologies, "
+        "BENCH_kernel.json) or 'scale' (500/1000/2000-host topologies "
+        "at the paper's density, BENCH_scale.json)",
+    )
+    bench_p.add_argument(
+        "--scenario", action="append", choices=sorted(bench_mod.ALL_SCENARIOS),
+        help="pinned scenario to run (repeatable; default: the suite)",
     )
     bench_p.add_argument("--label", default="", help="free-form record label")
     bench_p.add_argument(
-        "--output", default=bench_mod.DEFAULT_PATH,
-        help=f"trajectory file to append to (default: {bench_mod.DEFAULT_PATH})",
+        "--output", default=None,
+        help="trajectory file to append to (default: the suite's file)",
     )
     bench_p.add_argument(
         "--no-append", action="store_true",
         help="print the record without touching the trajectory file",
+    )
+    bench_p.add_argument(
+        "--compare", metavar="LABEL", default=None,
+        help="also print speedup vs the newest record with this label "
+        "in the trajectory file; exit nonzero if any scenario regressed "
+        "more than 20%%",
     )
 
     for name in figures.FIGURES:
@@ -219,12 +231,22 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "bench":
-        names = args.scenario or sorted(bench_mod.REFERENCE_SCENARIOS)
+        suite_scenarios, suite_path = bench_mod.SUITES[args.suite]
+        names = args.scenario or sorted(suite_scenarios)
+        output = args.output or suite_path
         record = bench_mod.make_record(scenarios=names, label=args.label)
         print(bench_mod.format_record(record))
         if not args.no_append:
-            bench_mod.append_record(record, args.output)
-            print(f"appended to {args.output}")
+            bench_mod.append_record(record, output)
+            print(f"appended to {output}")
+        if args.compare is not None:
+            baseline = bench_mod.latest_labeled(args.compare, output)
+            if baseline is None:
+                print(f"no record labeled {args.compare!r} in {output}")
+                return 2
+            report, regressed = bench_mod.compare_records(record, baseline)
+            print(report)
+            return 1 if regressed else 0
         return 0
 
     fig = _figure(args.command, args)

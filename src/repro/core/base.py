@@ -98,6 +98,24 @@ class GridProtocolBase(RoutingProtocol):
         self._retiring = False
         self._inherited_host_table = False
 
+        #: Exact-type message dispatch: ``type(msg) -> (handler,
+        #: wants_sender_id)``.  Bound here so subclass handler overrides
+        #: are captured; a type not in the table (someone dispatching a
+        #: message subclass) falls back to the isinstance chain in
+        #: :meth:`on_message`, which remains the semantic reference.
+        self._dispatch = {
+            Hello: (self._on_hello, False),
+            DataEnvelope: (self._on_envelope, True),
+            Rreq: (self._on_rreq, False),
+            Rrep: (self._on_rrep, False),
+            Rerr: (self._on_rerr, False),
+            Retire: (self._on_retire, False),
+            TablesTransfer: (self._on_tables_transfer, False),
+            Leave: (self._on_leave, False),
+            SleepNotify: (self._on_sleep_notify, False),
+            Acq: (self._on_acq, True),
+        }
+
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
@@ -278,6 +296,14 @@ class GridProtocolBase(RoutingProtocol):
     # ------------------------------------------------------------------
     def on_message(self, message, sender_id: int) -> None:
         if self.role is Role.DEAD:
+            return
+        entry = self._dispatch.get(type(message))
+        if entry is not None:
+            fn, wants_sender = entry
+            if wants_sender:
+                fn(message, sender_id)
+            else:
+                fn(message)
             return
         if isinstance(message, Hello):
             self._on_hello(message)

@@ -23,7 +23,7 @@ import os
 import platform
 import subprocess
 import time
-from typing import Any, Dict, Iterable, Optional, Sequence
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 
@@ -32,6 +32,9 @@ BENCH_SCHEMA = 1
 
 #: Default output file, at the repository root by convention.
 DEFAULT_PATH = "BENCH_kernel.json"
+
+#: Output file of the thousand-node scale suite.
+SCALE_PATH = "BENCH_scale.json"
 
 #: The pinned reference scenarios.  ``ref-900`` is the headline number
 #: (the paper's §4 topology over a 900 s horizon, seed-swept);
@@ -50,9 +53,60 @@ REFERENCE_SCENARIOS: Dict[str, Dict[str, Any]] = {
     },
 }
 
+#: The scale suite: the paper's host density (1e-4 hosts/m², i.e. 100
+#: hosts on a 1000 m square) held constant while the host count grows
+#: to 500 / 1000 / 2000, so per-node neighborhood size — and therefore
+#: per-frame receiver fan-out — matches the reference topology.  Flows
+#: scale with the population (1 per 50 hosts).  ``scale-1000`` is the
+#: tentpole number the scaling work is judged on.
+SCALE_SCENARIOS: Dict[str, Dict[str, Any]] = {
+    "scale-500": {
+        "config": dict(
+            protocol="ecgrid", n_hosts=500, width_m=2236.0, height_m=2236.0,
+            n_flows=10, sim_time_s=60.0,
+        ),
+        "seeds": (1,),
+        "repeats": 2,
+    },
+    "scale-1000": {
+        "config": dict(
+            protocol="ecgrid", n_hosts=1000, width_m=3162.0, height_m=3162.0,
+            n_flows=20, sim_time_s=60.0,
+        ),
+        "seeds": (1,),
+        "repeats": 2,
+    },
+    # Offered load stays at the scale-1000 level (20 flows) and the
+    # horizon drops to 30 s: doubling flows once more tips the 2000-host
+    # topology into congestion collapse, where the *event count*
+    # explodes (~50x) and the benchmark measures the traffic regime
+    # instead of the kernel.  This scenario isolates the axis the suite
+    # is about — node count.
+    "scale-2000": {
+        "config": dict(
+            protocol="ecgrid", n_hosts=2000, width_m=4472.0, height_m=4472.0,
+            n_flows=20, sim_time_s=30.0,
+        ),
+        "seeds": (1,),
+        "repeats": 2,
+    },
+}
+
+#: Suite name -> (scenario table, default trajectory file).
+SUITES: Dict[str, Any] = {
+    "kernel": (REFERENCE_SCENARIOS, DEFAULT_PATH),
+    "scale": (SCALE_SCENARIOS, SCALE_PATH),
+}
+
+#: Every pinned scenario across all suites (names are globally unique).
+ALL_SCENARIOS: Dict[str, Dict[str, Any]] = {
+    **REFERENCE_SCENARIOS,
+    **SCALE_SCENARIOS,
+}
+
 
 def scenario_config(name: str, seed: int) -> ExperimentConfig:
-    spec = REFERENCE_SCENARIOS[name]
+    spec = ALL_SCENARIOS[name]
     return ExperimentConfig(seed=seed, **spec["config"])
 
 
@@ -83,7 +137,7 @@ def run_scenario(
     """
     from repro.experiments.runner import run_experiment
 
-    spec = REFERENCE_SCENARIOS[name]
+    spec = ALL_SCENARIOS[name]
     if seeds is None:
         seeds = spec["seeds"]
     if repeats is None:
@@ -117,6 +171,19 @@ def run_scenario(
     }
 
 
+def _cpu_model() -> str:
+    """Human-readable CPU model, so absolute events/sec numbers in a
+    trajectory file carry their hardware context."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
 def make_record(
     scenarios: Iterable[str] = ("ref-900", "micro-120"),
     label: str = "",
@@ -129,6 +196,8 @@ def make_record(
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu": _cpu_model(),
+        "cpu_count": os.cpu_count(),
         "scenarios": {},
     }
     for name in scenarios:
@@ -162,6 +231,57 @@ def latest_for(scenario: str, path: str = DEFAULT_PATH) -> Optional[Dict[str, An
         if data is not None:
             return data
     return None
+
+
+def latest_labeled(
+    label: str, path: str = DEFAULT_PATH
+) -> Optional[Dict[str, Any]]:
+    """The newest record carrying ``label``, or None."""
+    for record in reversed(load_records(path)):
+        if record.get("label") == label:
+            return record
+    return None
+
+
+#: A compared scenario slower than (1 - this) x baseline is a
+#: regression (matches the tier-2 guard's wall-clock noise margin).
+COMPARE_TOLERANCE = 0.20
+
+
+def compare_records(
+    record: Dict[str, Any], baseline: Dict[str, Any]
+) -> Tuple[str, bool]:
+    """Per-scenario speedup of ``record`` over ``baseline``.
+
+    Returns ``(report, regressed)`` where ``regressed`` is True when
+    any scenario present in both records ran more than
+    ``COMPARE_TOLERANCE`` slower than the baseline.  Only events/sec is
+    compared; event-count mismatches are reported (they mean the two
+    records ran different workloads — e.g. across a behavior-changing
+    commit — which makes the speedup meaningless).
+    """
+    lines = [
+        f"vs [{baseline.get('label') or 'unlabeled'}] "
+        f"rev {baseline.get('git_rev', '?')}"
+    ]
+    regressed = False
+    for name, data in record.get("scenarios", {}).items():
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None:
+            lines.append(f"  {name:<12} (not in baseline)")
+            continue
+        ratio = data["events_per_sec"] / base["events_per_sec"]
+        note = ""
+        if data.get("events") != base.get("events"):
+            note = "  [event counts differ: workloads not comparable]"
+        elif ratio < 1.0 - COMPARE_TOLERANCE:
+            note = "  REGRESSION"
+            regressed = True
+        lines.append(
+            f"  {name:<12} {base['events_per_sec']:>10,.0f} -> "
+            f"{data['events_per_sec']:>10,.0f} ev/s  {ratio:5.2f}x{note}"
+        )
+    return "\n".join(lines), regressed
 
 
 def format_record(record: Dict[str, Any]) -> str:

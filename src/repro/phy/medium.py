@@ -21,6 +21,7 @@ Design notes
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -29,6 +30,13 @@ from repro.energy.profile import RadioMode
 from repro.geo.grid import GridCoord, GridMap
 from repro.geo.vector import Vec2
 from repro.phy.radio import Radio
+
+#: Kill switches for the spatial-index optimizations (ablation and
+#: debugging).  Each disabled path falls back to the original scan code,
+#: so ``ECGRID_NO_NEAR_CACHE=1 ECGRID_NO_TX_INDEX=1`` reproduces the
+#: pre-optimization medium exactly.
+_NEAR_CACHE_DISABLED = bool(os.environ.get("ECGRID_NO_NEAR_CACHE"))
+_TX_INDEX_DISABLED = bool(os.environ.get("ECGRID_NO_TX_INDEX"))
 
 
 @dataclass
@@ -73,17 +81,41 @@ class _Reception:
 
 
 class _Transmission:
-    __slots__ = ("sender", "pos", "end_time", "receptions", "index")
+    __slots__ = (
+        "sender", "pos", "px", "py", "end_time", "receptions", "index",
+        "cell", "cell_index",
+    )
 
     def __init__(self, sender: Radio, pos: Vec2, end_time: float) -> None:
         self.sender = sender
         self.pos = pos
+        #: ``pos`` unpacked to plain floats: the carrier-sense scan
+        #: tests every in-flight transmission and attribute loads beat
+        #: tuple indexing there.
+        self.px = pos[0]
+        self.py = pos[1]
         self.end_time = end_time
         self.receptions: List[_Reception] = []
         #: Slot in ``Medium._active`` (maintained for O(1) swap-pop
         #: removal; carrier sense only ever reduces the list to a
         #: boolean, so the order perturbation is observable nowhere).
         self.index = -1
+        #: Grid cell of ``pos`` and slot in that cell's entry of
+        #: ``Medium._active_by_cell`` (same swap-pop scheme as ``index``).
+        self.cell: Optional[GridCoord] = None
+        self.cell_index = -1
+
+
+#: One covering-bucket rectangle of a cached neighbor snapshot:
+#: ``(x0, y0, x1, y1, all_radios, awake, sleepers, len(sleepers))``.
+#: ``awake`` / ``sleepers`` partition the bucket by *base* mode at
+#: build time (OFF radios appear only in ``all_radios``); every base
+#: mode flip invalidates the covering snapshots (via the radio's
+#: ``on_base_mode_flip`` hook), so the partition is never stale.
+_SnapRect = Tuple[
+    float, float, float, float,
+    Tuple[Radio, ...], Tuple[Radio, ...], Tuple[Radio, ...], int,
+]
 
 
 @dataclass
@@ -101,7 +133,35 @@ class MediumStats:
 
 
 class Medium:
-    """The one shared channel all radios attach to."""
+    """The one shared channel all radios attach to.
+
+    Scaling structures (see ``docs/performance.md``, "Scaling"):
+
+    - an **epoch-invalidated neighbor cache**: ``radios_near`` and the
+      fused ``transmit`` loop snapshot the non-empty covering buckets
+      per ``(center cell, radius)`` and replay the snapshot while it is
+      valid.  Default-radius snapshots are invalidated per *center
+      cell* (a membership change in cell X bumps only the ~|ring|
+      centers whose coverage includes X); other radii fall back to a
+      global epoch.  Every membership change funnels through
+      ``register`` / ``unregister`` / ``update_cell``, and every base
+      mode flip through the radio's ``on_base_mode_flip`` hook (the
+      snapshots partition candidates into awake/sleepers), so
+      quasi-static regions answer repeat queries without re-walking
+      buckets;
+    - a **cell-indexed active-transmission set** (``_active_by_cell``)
+      so carrier sense probes only the sense-range cell neighborhood
+      instead of every in-flight transmission.
+    """
+
+    #: ``channel_busy`` falls back to the plain active-list scan when
+    #: fewer transmissions than this are in flight.  The probe costs a
+    #: fixed ~37 cell lookups while the scan costs one multiply-compare
+    #: per in-flight transmission *and* exits early on the first audible
+    #: one (the common case in a busy neighborhood), so the crossover
+    #: sits far above the cell count — measured neutral-to-negative
+    #: below ~48 in flight, a regime even 1000-node storms rarely leave.
+    TX_SCAN_CUTOFF = 48
 
     def __init__(
         self, sim: Simulator, grid: GridMap, config: Optional[MediumConfig] = None
@@ -126,6 +186,33 @@ class Medium:
         self._buckets: Dict[GridCoord, Dict[int, Radio]] = {}
         self._cells: Dict[int, GridCoord] = {}
         self._active: List[_Transmission] = []
+        #: Membership epoch: bumped by register/unregister/update_cell.
+        #: Guards cached snapshots for *non-default* query radii (rare:
+        #: RAS paging), whose coverage can exceed the default ring.
+        self._epoch = 0
+        #: Per-center invalidation counters for default-radius
+        #: snapshots: a membership change in cell X bumps every center
+        #: whose default coverage includes X (the ring offsets are
+        #: symmetric under negation, so those centers are X + offset).
+        #: A global epoch would invalidate the whole map on every
+        #: crossing; this keeps snapshots in quiet regions alive.
+        self._inval: Dict[GridCoord, int] = {}
+        self._near_cache_enabled = not _NEAR_CACHE_DISABLED
+        #: ``(center cell, radius) -> (stamp, snapshot)`` where the
+        #: snapshot lists the non-empty covering buckets in query order
+        #: as :data:`_SnapRect` rectangles.  Stale entries are
+        #: overwritten on first reuse; size is bounded by occupied
+        #: cells x distinct query radii.
+        self._near_cache: Dict[
+            Tuple[GridCoord, float], Tuple[int, Optional[List[_SnapRect]]]
+        ] = {}
+        #: Pruned covering offsets memoized per query radius (the
+        #: default radius keeps its precomputed ``_ring_offsets``).
+        self._radius_offsets: Dict[float, Tuple[GridCoord, ...]] = {}
+        self._tx_index_enabled = not _TX_INDEX_DISABLED
+        #: Cell -> in-flight transmissions that started there (swap-pop
+        #: lists; empty lists are kept to avoid realloc churn).
+        self._active_by_cell: Dict[GridCoord, List[_Transmission]] = {}
         self._rx_in_progress: Dict[int, List[_Reception]] = {}
         self._loss_rng = sim.rng.stream("phy-loss")
         #: Optional fault-injection hook ``(tx_pos, receiver) -> bool``;
@@ -153,6 +240,16 @@ class Medium:
             self._offsets[ring] = cached
         return cached
 
+    def _offsets_near(self, radius: float) -> Tuple[GridCoord, ...]:
+        """Memoized pruned covering offsets for an arbitrary ``radius``
+        (the construction is O(ring²) and used to be redone on every
+        non-default-radius query)."""
+        cached = self._radius_offsets.get(radius)
+        if cached is None:
+            cached = self._pruned_offsets(self._rings_for(radius), radius)
+            self._radius_offsets[radius] = cached
+        return cached
+
     def _pruned_offsets(
         self, ring: int, radius: float
     ) -> Tuple[GridCoord, ...]:
@@ -173,18 +270,54 @@ class Medium:
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
+    def _invalidate_around(self, cell: GridCoord) -> None:
+        """Bump the invalidation counter of every center cell whose
+        default-radius coverage includes ``cell`` (== ``cell`` plus each
+        ring offset, by symmetry of the offset set)."""
+        cx, cy = cell
+        inval = self._inval
+        for dx, dy in self._ring_offsets:
+            key = (cx + dx, cy + dy)
+            inval[key] = inval.get(key, 0) + 1
+
     def register(self, radio: Radio) -> None:
         cell = self.grid.cell_of(radio.position())
         self._buckets.setdefault(cell, {})[radio.node_id] = radio
         self._cells[radio.node_id] = cell
+        # Snapshots partition candidates by base mode, so base-mode
+        # flips must invalidate exactly like membership changes do.
+        radio.on_base_mode_flip = self._on_base_mode_flip
+        self._epoch += 1
+        self._invalidate_around(cell)
 
     def unregister(self, radio: Radio) -> None:
+        radio.on_base_mode_flip = None
         cell = self._cells.pop(radio.node_id, None)
         if cell is not None:
             self._buckets.get(cell, {}).pop(radio.node_id, None)
+            self._epoch += 1
+            self._invalidate_around(cell)
+
+    def _on_base_mode_flip(self, radio: Radio) -> None:
+        """A registered radio's base mode changed (sleep / wake /
+        power_off / power_on): invalidate the default-radius snapshots
+        whose awake/sleeper partition covers its cell.  The global
+        epoch is *not* bumped — the flip changes no bucket's membership,
+        and non-default-radius replays only read the full radio tuple.
+        """
+        cell = self._cells.get(radio.node_id)
+        if cell is not None:
+            self._invalidate_around(cell)
 
     def update_cell(self, radio: Radio) -> None:
-        """Re-bucket a radio after its node crossed a cell boundary."""
+        """Re-bucket a radio after its node crossed a cell boundary.
+
+        Cell-crossing events (scheduled from the mobility model's
+        ``next_cell_crossing``) funnel through here, so the epoch bump
+        and the reverse invalidation below are exactly "some bucket's
+        membership changed" — the invalidation signals for the neighbor
+        cache.
+        """
         new_cell = self.grid.cell_of(radio.position())
         old_cell = self._cells.get(radio.node_id)
         if new_cell == old_cell:
@@ -193,6 +326,10 @@ class Medium:
             self._buckets.get(old_cell, {}).pop(radio.node_id, None)
         self._buckets.setdefault(new_cell, {})[radio.node_id] = radio
         self._cells[radio.node_id] = new_cell
+        self._epoch += 1
+        self._invalidate_around(new_cell)
+        if old_cell is not None:
+            self._invalidate_around(old_cell)
 
     # ------------------------------------------------------------------
     # Queries
@@ -201,12 +338,92 @@ class Medium:
         """Seconds the channel is occupied by a frame of ``wire_bytes``."""
         return wire_bytes * 8.0 / self.config.bandwidth_bps
 
-    def radios_near(self, pos: Vec2, radius: float) -> List[Radio]:
-        """All registered radios within ``radius`` of ``pos``.
+    def _near_snapshot(
+        self, cell: GridCoord, radius: float
+    ) -> Optional[List[_SnapRect]]:
+        """Cached candidate geometry for ``(cell, radius)``, or None.
 
-        Candidate order (hence result order) is row-major over the
-        covering cells — identical to iterating ``cells_within`` — so
-        downstream receiver bookkeeping stays deterministic.
+        The snapshot lists the non-empty covering buckets in query order
+        (row-major, identical to ``cells_within``) as :data:`_SnapRect`
+        rectangles, each carrying the bucket's radios plus their
+        awake/sleeper partition by base mode.  It depends only on
+        ``(cell, radius, membership + base-mode stamp)``; everything
+        that depends on the query *point* is replayed per query by the
+        caller.
+
+        Admission is adaptive: the first touch of a (key, epoch) only
+        plants a marker and returns None — the caller falls back to the
+        plain scan, which costs the same as building the snapshot would.
+        A second touch at the same epoch proves the key is hot and
+        builds.  Sparse query patterns (every key touched once per
+        epoch) therefore never pay the build, and hot patterns pay it
+        once.  Either way the caller computes identical results, so the
+        admission policy is unobservable.
+        """
+        # Default-radius snapshots validate against the per-cell
+        # counter (fine-grained: only nearby membership changes bump
+        # it); other radii — whose coverage may exceed the default
+        # ring — against the coarse global epoch.
+        if radius == self.config.range_m:
+            stamp = self._inval.get(cell, 0)
+        else:
+            stamp = self._epoch
+        key = (cell, radius)
+        cache = self._near_cache
+        entry = cache.get(key)
+        if entry is not None and entry[0] == stamp:
+            snapshot = entry[1]
+            if snapshot is not None:
+                return snapshot
+            # Second touch at this stamp: build below.
+        else:
+            cache[key] = (stamp, None)
+            return None
+        if radius <= self.config.range_m:
+            offsets = self._ring_offsets
+        else:
+            offsets = self._offsets_near(radius)
+        cx, cy = cell
+        side = self.grid.cell_side
+        buckets = self._buckets
+        idle_mode = RadioMode.IDLE
+        sleep_mode = RadioMode.SLEEP
+        snapshot: List[_SnapRect] = []
+        for dx, dy in offsets:
+            # Off-map cells simply have no bucket; no clipping needed.
+            bucket = buckets.get((cx + dx, cy + dy))
+            if not bucket:
+                continue
+            x0 = (cx + dx) * side
+            y0 = (cy + dy) * side
+            all_radios = tuple(bucket.values())
+            awake = []
+            sleepers = []
+            for radio in all_radios:
+                base = radio.base_mode
+                if base is idle_mode:
+                    awake.append(radio)
+                elif base is sleep_mode:
+                    sleepers.append(radio)
+                # OFF radios stay out of both partitions: neither the
+                # receiver loop nor the missed-asleep counter ever
+                # touches them (matching the plain scan's silent skip).
+            snapshot.append(
+                (
+                    x0, y0, x0 + side, y0 + side,
+                    all_radios, tuple(awake), tuple(sleepers), len(sleepers),
+                )
+            )
+        cache[key] = (stamp, snapshot)
+        return snapshot
+
+    def _replay_near(
+        self,
+        snapshot: List[_SnapRect],
+        pos: Vec2,
+        radius: float,
+    ) -> List[Radio]:
+        """Answer a neighbor query from a cached snapshot.
 
         Whole cells are classified against the disk first: a bucket
         whose rectangle lies entirely inside ``radius`` contributes all
@@ -218,19 +435,79 @@ class Medium:
         to the per-point test, which is unchanged.
         """
         out: List[Radio] = []
-        if radius <= self.config.range_m:
-            offsets = self._ring_offsets
-        else:
-            offsets = self._offsets_for(self._rings_for(radius))
-        cx, cy = self.grid.cell_of(pos)
+        px, py = pos
+        r2 = radius * radius
+        skip2 = r2 * (1.0 + 1e-9)
+        take2 = r2 * (1.0 - 1e-9)
+        append = out.append
+        now = self.sim.now
+        # Generic queries (RAS paging wakes *sleeping* radios) use the
+        # full bucket tuple; the awake/sleeper partition is only for
+        # the fused ``transmit`` receiver loop.
+        for x0, y0, x1, y1, radios, _awake, _sleepers, _count in snapshot:
+            gx = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
+            gy = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
+            if gx * gx + gy * gy > skip2:
+                continue
+            hx = px - x0 if px - x0 > x1 - px else x1 - px
+            hy = py - y0 if py - y0 > y1 - py else y1 - py
+            if hx * hx + hy * hy < take2:
+                out.extend(radios)
+                continue
+            for radio in radios:
+                # Inlined ``MobilityModel.position`` fast paths (memo
+                # hit, active-segment hit) with identical arithmetic;
+                # skipping the memo/cursor writes only changes how later
+                # queries recompute the same values, never the values.
+                mob = radio.mobility
+                if mob is not None:
+                    if now == mob._memo_t:
+                        p = mob._memo_pos
+                        x = p[0]
+                        y = p[1]
+                    else:
+                        seg = mob._active_seg
+                        if seg is not None and seg.t0 < now <= seg.t1:
+                            dt = now - seg.t0
+                            p0 = seg.p0
+                            v = seg.v
+                            x = p0.x + v.x * dt
+                            y = p0.y + v.y * dt
+                        else:
+                            p = mob.position(now)
+                            x = p[0]
+                            y = p[1]
+                else:
+                    p = radio.position()
+                    x = p[0]
+                    y = p[1]
+                ddx = x - px
+                ddy = y - py
+                if ddx * ddx + ddy * ddy <= r2:
+                    append(radio)
+        return out
+
+    def _scan_near(
+        self, cell: GridCoord, pos: Vec2, radius: float
+    ) -> List[Radio]:
+        """Original cacheless neighbor scan (also the cold-key path):
+        walk the covering buckets, classify each cell against the disk
+        (same guard bands as :meth:`_replay_near`), per-point-test the
+        straddlers."""
+        out: List[Radio] = []
+        cx, cy = cell
         px, py = pos
         r2 = radius * radius
         skip2 = r2 * (1.0 + 1e-9)
         take2 = r2 * (1.0 - 1e-9)
         side = self.grid.cell_side
-        buckets = self._buckets
         append = out.append
         now = self.sim.now
+        if radius <= self.config.range_m:
+            offsets = self._ring_offsets
+        else:
+            offsets = self._offsets_near(radius)
+        buckets = self._buckets
         for dx, dy in offsets:
             # Off-map cells simply have no bucket; no clipping needed.
             bucket = buckets.get((cx + dx, cy + dy))
@@ -258,22 +535,97 @@ class Medium:
                     append(radio)
         return out
 
+    def radios_near(self, pos: Vec2, radius: float) -> List[Radio]:
+        """All registered radios within ``radius`` of ``pos``.
+
+        Candidate order (hence result order) is row-major over the
+        covering cells — identical to iterating ``cells_within`` — so
+        downstream receiver bookkeeping stays deterministic.  Served
+        from the epoch-invalidated snapshot cache when the key is hot,
+        by the plain bucket scan otherwise; both paths compute the same
+        result.
+        """
+        cell = self.grid.cell_of(pos)
+        if self._near_cache_enabled:
+            snapshot = self._near_snapshot(cell, radius)
+            if snapshot is not None:
+                return self._replay_near(snapshot, pos, radius)
+        return self._scan_near(cell, pos, radius)
+
     def channel_busy(self, radio: Radio) -> bool:
-        """Carrier sense: is any in-flight transmission audible here?"""
-        if not self._active:
+        """Carrier sense: is any in-flight transmission audible here?
+
+        With the cell index enabled and enough transmissions in flight,
+        only the sense-range cell neighborhood of the radio's cell is
+        probed; a transmission outside those cells is provably out of
+        sense range (the pruned covering offsets over-approximate the
+        sense disk), and the radio's *own* transmission — the other way
+        the scan can report busy — is at distance ~0 and therefore
+        always inside the probed neighborhood.  Below the cutoff the
+        plain list scan is cheaper and gives the same answer.
+        """
+        active = self._active
+        if not active:
             return False
+        now = self.sim.now
+        # Inlined ``MobilityModel.position`` fast paths (see
+        # ``_replay_near``) — carrier sense runs on every CSMA attempt.
         mob = radio.mobility
-        pos = (
-            mob.position(self.sim.now) if mob is not None else radio.position()
-        )
-        px, py = pos
-        sense2 = self.config.sense_range ** 2
-        for tx in self._active:
+        if mob is not None:
+            if now == mob._memo_t:
+                p = mob._memo_pos
+                px = p[0]
+                py = p[1]
+            else:
+                seg = mob._active_seg
+                if seg is not None and seg.t0 < now <= seg.t1:
+                    dt = now - seg.t0
+                    p0 = seg.p0
+                    v = seg.v
+                    px = p0.x + v.x * dt
+                    py = p0.y + v.y * dt
+                else:
+                    p = mob.position(now)
+                    px = p[0]
+                    py = p[1]
+        else:
+            p = radio.position()
+            px = p[0]
+            py = p[1]
+        sense = self.config.sense_range
+        sense2 = sense * sense
+        if self._tx_index_enabled and len(active) > self.TX_SCAN_CUTOFF:
+            by_cell = self._active_by_cell
+            grid = self.grid
+            side = grid.cell_side
+            # Inlined ``GridMap.cell_of`` (edge clamping included).
+            cx = int(px // side)
+            cy = int(py // side)
+            if cx >= grid.cols:
+                cx = grid.cols - 1
+            elif cx < 0:
+                cx = 0
+            if cy >= grid.rows:
+                cy = grid.rows - 1
+            elif cy < 0:
+                cy = 0
+            for dx, dy in self._offsets_near(sense):
+                txs = by_cell.get((cx + dx, cy + dy))
+                if not txs:
+                    continue
+                for tx in txs:
+                    if tx.sender is radio:
+                        return True
+                    ddx = tx.px - px
+                    ddy = tx.py - py
+                    if ddx * ddx + ddy * ddy <= sense2:
+                        return True
+            return False
+        for tx in active:
             if tx.sender is radio:
                 return True
-            p = tx.pos
-            dx = p[0] - px
-            dy = p[1] - py
+            dx = tx.px - px
+            dy = tx.py - py
             if dx * dx + dy * dy <= sense2:
                 return True
         return False
@@ -286,13 +638,26 @@ class Medium:
 
         Delivery (or corruption) resolves at airtime + propagation
         delay via a single completion event.
+
+        The hot path fuses the cached neighbor replay directly into the
+        receiver loop — no intermediate candidate list — iterating the
+        snapshot's awake/sleeper partition: sleepers feed only the
+        (order-independent) missed-asleep counter, and awake candidates
+        need just the half-duplex check before the inlined
+        ``Radio.begin_rx`` (base IDLE is guaranteed by the partition,
+        so the mode-change condition reduces to ``_effective is not
+        RX``, exactly as ``begin_rx`` resolves it).  Receiver order,
+        per-radio arithmetic, RNG consumption and stats totals are
+        identical to the plain loop below, which remains the cold-key /
+        cache-disabled path.
         """
         config = self.config
         stats = self.stats
         duration = self.airtime(wire_bytes)
         pos = sender.position()
         sender.begin_tx()
-        tx = _Transmission(sender, pos, self.sim.now + duration)
+        now = self.sim.now
+        tx = _Transmission(sender, pos, now + duration)
         stats.frames_sent += 1
         stats.bytes_sent += wire_bytes
 
@@ -301,43 +666,203 @@ class Medium:
         rx_in_progress = self._rx_in_progress
         receptions = tx.receptions
         idle = RadioMode.IDLE
+        rx_mode = RadioMode.RX
         fault_hook = self.fault_hook
-        for radio in self.radios_near(pos, config.range_m):
-            if radio is sender:
-                continue
-            # Inlined ``can_receive`` / ``alive and not awake`` (the
-            # base mode is one of IDLE / SLEEP / OFF): property dispatch
-            # on every candidate of every frame is measurable.
-            if radio.base_mode is not idle or radio.transmitting:
-                if radio.base_mode is RadioMode.SLEEP:
-                    stats.frames_missed_asleep += 1
-                continue
-            rec = _Reception(radio)
-            if fault_hook is not None and fault_hook(pos, radio):
-                rec.corrupted = True
-                stats.frames_fault_dropped += 1
-            if not unit_disk:
-                p = config.reception_probability(
-                    pos.dist(radio.position())
-                )
-                if p < 1.0 and self._loss_rng.random() >= p:
-                    # Fringe loss: the radio still hears energy (pays
-                    # RX) but the frame does not decode.
+        cell = self.grid.cell_of(pos)
+        snapshot = (
+            self._near_snapshot(cell, config.range_m)
+            if self._near_cache_enabled
+            else None
+        )
+        if snapshot is not None:
+            px, py = pos
+            r2 = config.range_m * config.range_m
+            skip2 = r2 * (1.0 + 1e-9)
+            take2 = r2 * (1.0 - 1e-9)
+            receptions_append = receptions.append
+            for x0, y0, x1, y1, _all, awake, sleepers, sleep_count in snapshot:
+                gx = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
+                gy = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
+                if gx * gx + gy * gy > skip2:
+                    continue
+                hx = px - x0 if px - x0 > x1 - px else x1 - px
+                hy = py - y0 if py - y0 > y1 - py else y1 - py
+                straddle = hx * hx + hy * hy >= take2
+                # Sleepers never receive; they only feed the
+                # missed-asleep counter, which is an order-independent
+                # sum — so the partition can count a take-all bucket in
+                # one add and per-point-test only the straddlers,
+                # instead of re-rejecting every sleeper per frame.
+                if not straddle:
+                    if sleep_count:
+                        stats.frames_missed_asleep += sleep_count
+                elif sleepers:
+                    for radio in sleepers:
+                        mob = radio.mobility
+                        if mob is not None:
+                            if now == mob._memo_t:
+                                p = mob._memo_pos
+                                x = p[0]
+                                y = p[1]
+                            else:
+                                seg = mob._active_seg
+                                if seg is not None and seg.t0 < now <= seg.t1:
+                                    dt = now - seg.t0
+                                    p0 = seg.p0
+                                    v = seg.v
+                                    x = p0.x + v.x * dt
+                                    y = p0.y + v.y * dt
+                                else:
+                                    p = mob.position(now)
+                                    x = p[0]
+                                    y = p[1]
+                        else:
+                            p = radio.position()
+                            x = p[0]
+                            y = p[1]
+                        ddx = x - px
+                        ddy = y - py
+                        if ddx * ddx + ddy * ddy <= r2:
+                            stats.frames_missed_asleep += 1
+                for radio in awake:
+                    if straddle:
+                        # Inlined position fast paths (see _replay_near).
+                        mob = radio.mobility
+                        if mob is not None:
+                            if now == mob._memo_t:
+                                p = mob._memo_pos
+                                x = p[0]
+                                y = p[1]
+                            else:
+                                seg = mob._active_seg
+                                if seg is not None and seg.t0 < now <= seg.t1:
+                                    dt = now - seg.t0
+                                    p0 = seg.p0
+                                    v = seg.v
+                                    x = p0.x + v.x * dt
+                                    y = p0.y + v.y * dt
+                                else:
+                                    p = mob.position(now)
+                                    x = p[0]
+                                    y = p[1]
+                        else:
+                            p = radio.position()
+                            x = p[0]
+                            y = p[1]
+                        ddx = x - px
+                        ddy = y - py
+                        if ddx * ddx + ddy * ddy > r2:
+                            continue
+                    # ``awake`` guarantees base IDLE at snapshot build,
+                    # and every base-mode flip invalidates, so only the
+                    # half-duplex check survives; it also skips the
+                    # sender itself (``begin_tx`` ran above).
+                    if radio.transmitting:
+                        continue
+                    rec = _Reception(radio)
+                    if fault_hook is not None and fault_hook(pos, radio):
+                        rec.corrupted = True
+                        stats.frames_fault_dropped += 1
+                    if not unit_disk:
+                        p = config.reception_probability(
+                            pos.dist(radio.position())
+                        )
+                        if p < 1.0 and self._loss_rng.random() >= p:
+                            rec.corrupted = True
+                    nid = radio.node_id
+                    ongoing = rx_in_progress.get(nid)
+                    if ongoing is None:
+                        ongoing = rx_in_progress[nid] = []
+                    if ongoing and model_collisions:
+                        rec.corrupted = True
+                        for other in ongoing:
+                            other.corrupted = True
+                    ongoing.append(rec)
+                    # Inlined ``begin_rx`` (base is IDLE, not
+                    # transmitting — established above) with
+                    # ``BatteryMonitor.set_draw`` flattened in: one
+                    # radio mode flip per receiver per frame makes this
+                    # the hottest call chain of a run, and the
+                    # arithmetic is kept bit-identical.
+                    radio.rx_count += 1
+                    if radio._effective is not rx_mode:
+                        old = radio._effective
+                        radio._effective = rx_mode
+                        monitor = radio.monitor
+                        battery = monitor.battery
+                        watts = radio._p_rx
+                        if watts < 0:
+                            raise ValueError("draw cannot be negative")
+                        last = battery._last_t
+                        if now < last:
+                            raise ValueError(
+                                f"time went backwards: {now} < {last}"
+                            )
+                        if battery.infinite:
+                            battery._last_t = now
+                        else:
+                            battery._remaining -= (
+                                battery._draw_w * (now - last)
+                            )
+                            if battery._remaining <= 1e-12:
+                                battery._remaining = 0.0
+                                battery.depleted = True
+                            battery._last_t = now
+                        battery._draw_w = watts
+                        if battery.depleted:
+                            monitor._fire_depleted()
+                        elif not monitor._check_pending:
+                            monitor._book_check()
+                        cb = radio.on_mode_change
+                        if cb is not None:
+                            cb(old, rx_mode)
+                    receptions_append(rec)
+        else:
+            for radio in self._scan_near(cell, pos, config.range_m):
+                if radio is sender:
+                    continue
+                # Inlined ``can_receive`` / ``alive and not awake`` (the
+                # base mode is one of IDLE / SLEEP / OFF): property
+                # dispatch on every candidate of every frame is
+                # measurable.
+                if radio.base_mode is not idle or radio.transmitting:
+                    if radio.base_mode is RadioMode.SLEEP:
+                        stats.frames_missed_asleep += 1
+                    continue
+                rec = _Reception(radio)
+                if fault_hook is not None and fault_hook(pos, radio):
                     rec.corrupted = True
-            nid = radio.node_id
-            ongoing = rx_in_progress.get(nid)
-            if ongoing is None:
-                ongoing = rx_in_progress[nid] = []
-            if ongoing and model_collisions:
-                rec.corrupted = True
-                for other in ongoing:
-                    other.corrupted = True
-            ongoing.append(rec)
-            radio.begin_rx()
-            receptions.append(rec)
+                    stats.frames_fault_dropped += 1
+                if not unit_disk:
+                    p = config.reception_probability(
+                        pos.dist(radio.position())
+                    )
+                    if p < 1.0 and self._loss_rng.random() >= p:
+                        # Fringe loss: the radio still hears energy
+                        # (pays RX) but the frame does not decode.
+                        rec.corrupted = True
+                nid = radio.node_id
+                ongoing = rx_in_progress.get(nid)
+                if ongoing is None:
+                    ongoing = rx_in_progress[nid] = []
+                if ongoing and model_collisions:
+                    rec.corrupted = True
+                    for other in ongoing:
+                        other.corrupted = True
+                ongoing.append(rec)
+                radio.begin_rx()
+                receptions.append(rec)
 
         tx.index = len(self._active)
         self._active.append(tx)
+        if self._tx_index_enabled:
+            cell = self.grid.cell_of(pos)
+            tx.cell = cell
+            txs = self._active_by_cell.get(cell)
+            if txs is None:
+                txs = self._active_by_cell[cell] = []
+            tx.cell_index = len(txs)
+            txs.append(tx)
         self.sim.after(
             duration + config.propagation_delay_s,
             self._finish,
@@ -347,12 +872,18 @@ class Medium:
         return duration
 
     def _remove_active(self, tx: _Transmission) -> None:
-        """O(1) swap-pop removal from the in-flight list."""
+        """O(1) swap-pop removal from the in-flight list and cell index."""
         active = self._active
         last = active.pop()
         if last is not tx:
             active[tx.index] = last
             last.index = tx.index
+        if tx.cell is not None:
+            txs = self._active_by_cell[tx.cell]
+            tail = txs.pop()
+            if tail is not tx:
+                txs[tx.cell_index] = tail
+                tail.cell_index = tx.cell_index
 
     def _finish(self, tx: _Transmission, payload: object) -> None:
         self._remove_active(tx)
@@ -360,9 +891,46 @@ class Medium:
         stats = self.stats
         rx_in_progress = self._rx_in_progress
         sender_id = tx.sender.node_id
+        idle = RadioMode.IDLE
+        rx_mode = RadioMode.RX
+        now = self.sim.now
         for rec in tx.receptions:
             radio = rec.receiver
-            radio.end_rx()
+            # Inlined ``end_rx`` (identical branch structure): dropping
+            # the last reception of an RX-mode radio returns it to IDLE;
+            # every other state is unchanged.  ``set_draw`` is flattened
+            # in as in ``transmit``.
+            count = radio.rx_count
+            if count > 0:
+                radio.rx_count = count - 1
+                if count == 1 and radio._effective is rx_mode:
+                    radio._effective = idle
+                    monitor = radio.monitor
+                    battery = monitor.battery
+                    watts = radio._p_idle
+                    if watts < 0:
+                        raise ValueError("draw cannot be negative")
+                    last = battery._last_t
+                    if now < last:
+                        raise ValueError(
+                            f"time went backwards: {now} < {last}"
+                        )
+                    if battery.infinite:
+                        battery._last_t = now
+                    else:
+                        battery._remaining -= battery._draw_w * (now - last)
+                        if battery._remaining <= 1e-12:
+                            battery._remaining = 0.0
+                            battery.depleted = True
+                        battery._last_t = now
+                    battery._draw_w = watts
+                    if battery.depleted:
+                        monitor._fire_depleted()
+                    elif not monitor._check_pending:
+                        monitor._book_check()
+                    cb = radio.on_mode_change
+                    if cb is not None:
+                        cb(rx_mode, idle)
             ongoing = rx_in_progress.get(radio.node_id)
             if ongoing and rec in ongoing:
                 ongoing.remove(rec)
@@ -372,7 +940,7 @@ class Medium:
             # Half-duplex / mid-frame sleep: a receiver that started
             # transmitting or went to sleep during the frame loses it
             # (inlined ``can_receive``).
-            if radio.base_mode is not RadioMode.IDLE or radio.transmitting:
+            if radio.base_mode is not idle or radio.transmitting:
                 stats.frames_corrupted += 1
                 continue
             stats.frames_delivered += 1

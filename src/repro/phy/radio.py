@@ -50,6 +50,11 @@ class Radio:
         self.rx_count = 0
         self.frame_sink: Optional[FrameSink] = None
         self.on_mode_change: Optional[Callable[[RadioMode, RadioMode], None]] = None
+        #: Installed by the medium at registration: notifies it that
+        #: this radio's *base* mode (IDLE/SLEEP/OFF) flipped, so cached
+        #: awake/asleep candidate partitions can be invalidated.  The
+        #: transient TX/RX activity never fires it.
+        self.on_base_mode_flip: Optional[Callable[["Radio"], None]] = None
         self._effective = RadioMode.IDLE
         # Mode -> watts, precomputed: ``_update`` runs for every frame
         # overheard by every receiver, and the profile is immutable.
@@ -101,6 +106,8 @@ class Radio:
         # ``can_receive`` at delivery time.
         self.rx_count = 0
         self._update()
+        if self.on_base_mode_flip is not None:
+            self.on_base_mode_flip(self)
 
     def wake(self) -> None:
         """Power the transceiver up into idle."""
@@ -108,6 +115,8 @@ class Radio:
             return
         self.base_mode = RadioMode.IDLE
         self._update()
+        if self.on_base_mode_flip is not None:
+            self.on_base_mode_flip(self)
 
     def power_off(self) -> None:
         """Battery exhausted: the radio is gone for good."""
@@ -115,6 +124,8 @@ class Radio:
         self.rx_count = 0
         self.transmitting = False
         self._update()
+        if self.on_base_mode_flip is not None:
+            self.on_base_mode_flip(self)
 
     def power_on(self) -> None:
         """Inverse of :meth:`power_off` for revived hosts (failure
@@ -124,6 +135,8 @@ class Radio:
         self.rx_count = 0
         self.transmitting = False
         self._update()
+        if self.on_base_mode_flip is not None:
+            self.on_base_mode_flip(self)
 
     # ------------------------------------------------------------------
     # Medium-driven activity

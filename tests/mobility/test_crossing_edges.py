@@ -1,0 +1,114 @@
+"""Edge cases of the analytic cell-crossing solver.
+
+These pin the corner geometry the scheduler depends on: every returned
+crossing must be strictly after the query time and land strictly past
+the boundary, or the medium would re-arm a zero-delay crossing event
+forever.
+"""
+
+import math
+
+import pytest
+
+from repro.geo.grid import GridMap
+from repro.geo.vector import Vec2
+from repro.mobility.base import next_cell_crossing
+from repro.mobility.trace import TraceMobility
+
+
+@pytest.fixture
+def grid():
+    return GridMap(1000.0, 1000.0, 100.0)
+
+
+def straight(p0, v):
+    far = p0 + v.scale(1e6)
+    return TraceMobility([(0.0, p0), (1e6, far)])
+
+
+def test_corner_graze_diagonal_crossing(grid):
+    """Passing exactly through a cell corner moves diagonally; the
+    solver must land in the diagonal cell, not loop on the corner."""
+    m = straight(Vec2(95.0, 95.0), Vec2(10.0, 10.0))
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert t == pytest.approx(0.5, abs=1e-6)
+    assert t > 0.5  # strictly past the boundary instant
+    assert cell == (1, 1)
+
+
+def test_corner_graze_antidiagonal(grid):
+    """The anti-diagonal corner pass (x grows while y shrinks) swaps
+    cells in both axes at the same instant."""
+    m = straight(Vec2(95.0, 105.0), Vec2(10.0, -10.0))
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert t == pytest.approx(0.5, abs=1e-6)
+    assert cell == (1, 0)
+
+
+def test_negative_velocity_starting_on_boundary(grid):
+    """A node sitting exactly on x=100 belongs to cell (1, 0) by the
+    floor convention; moving in -x it crosses immediately — but the
+    returned time must still be strictly after the query time."""
+    m = straight(Vec2(100.0, 50.0), Vec2(-10.0, 0.0))
+    assert grid.cell_of(m.position(0.0)) == (1, 0)
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert t > 0.0
+    assert t == pytest.approx(0.0, abs=1e-6)
+    assert cell == (0, 0)
+
+
+def test_negative_velocity_landing_on_boundary(grid):
+    """Travelling in -x and stopping exactly on a boundary: the
+    crossing fires when the boundary is reached, and the sampled
+    landing cell is on the far (lower) side."""
+    m = TraceMobility([(0.0, Vec2(150.0, 50.0)), (5.0, Vec2(100.0, 50.0))])
+    t, cell = next_cell_crossing(m, 0.0, grid)
+    assert t == pytest.approx(5.0, abs=1e-6)
+    assert cell == (0, 0)
+    # Parked on the boundary forever afterwards: no further crossing.
+    assert next_cell_crossing(m, t, grid) is None
+
+
+def test_pause_at_exact_boundary_then_resume(grid):
+    """Arrive exactly on x=100, pause there, then move on: the arrival
+    is one crossing, the pause contributes none, and the next crossing
+    comes from the resumed leg."""
+    m = TraceMobility(
+        [
+            (0.0, Vec2(50.0, 50.0)),
+            (10.0, Vec2(100.0, 50.0)),   # arrive on the boundary
+            (20.0, Vec2(100.0, 50.0)),   # pause on it
+            (30.0, Vec2(200.0, 50.0)),   # resume +x
+        ]
+    )
+    t1, cell1 = next_cell_crossing(m, 0.0, grid)
+    assert t1 == pytest.approx(10.0, abs=1e-6)
+    assert cell1 == (1, 0)
+    t2, cell2 = next_cell_crossing(m, t1, grid)
+    # Next change: x reaches 200 on the resumed leg (v = 10 m/s).
+    assert t2 == pytest.approx(30.0, abs=1e-4)
+    assert cell2 == (2, 0)
+
+
+def test_horizon_clips_crossing_strictly_before_it(grid):
+    m = straight(Vec2(50.0, 50.0), Vec2(10.0, 0.0))  # crossing at t=5
+    assert next_cell_crossing(m, 0.0, grid, horizon=4.999) is None
+    found = next_cell_crossing(m, 0.0, grid, horizon=6.0)
+    assert found is not None and found[1] == (1, 0)
+
+
+def test_horizon_exactly_at_crossing_instant(grid):
+    """A horizon landing exactly on the crossing instant still reports
+    the crossing (the clip is exclusive of later events only)."""
+    m = straight(Vec2(50.0, 50.0), Vec2(10.0, 0.0))
+    found = next_cell_crossing(m, 0.0, grid, horizon=5.0)
+    assert found is not None
+    t, cell = found
+    assert t == pytest.approx(5.0, abs=1e-6)
+    assert cell == (1, 0)
+
+
+def test_pause_only_trajectory_never_crosses(grid):
+    m = TraceMobility([(0.0, Vec2(150.0, 150.0))])
+    assert next_cell_crossing(m, 0.0, grid) is None
+    assert next_cell_crossing(m, 0.0, grid, horizon=1e9) is None
