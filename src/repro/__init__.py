@@ -10,7 +10,8 @@ The package is a full MANET simulation stack built for this paper:
   radios, the shared medium, RAS paging, CSMA/CA;
 - :mod:`repro.core` — **ECGRID**, the paper's protocol;
 - :mod:`repro.protocols` — the GRID and GAF baselines (+ flooding);
-- :mod:`repro.experiments` — the harness regenerating Figures 4–8.
+- :mod:`repro.experiments` — the harness regenerating Figures 4–8;
+- :mod:`repro.obs` — structured tracing, counters, invariant auditors.
 
 Quick start::
 
@@ -53,6 +54,13 @@ from repro.experiments import (
     SweepSpec,
     figure,
     run_experiment,
+)
+from repro.obs import (
+    CounterRegistry,
+    Tracer,
+    audit_report,
+    load_jsonl,
+    standard_auditors,
 )
 
 __version__ = "1.0.0"
@@ -100,5 +108,10 @@ __all__ = [
     "SweepSpec",
     "figure",
     "run_experiment",
+    "CounterRegistry",
+    "Tracer",
+    "audit_report",
+    "load_jsonl",
+    "standard_auditors",
     "__version__",
 ]

@@ -107,6 +107,21 @@ def main(argv=None) -> int:
         help="JSON fault plan to inject into the run (see docs/faults.md)",
     )
     run_p.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record protocol events and export them as schema-versioned "
+        "JSONL to FILE (see docs/observability.md)",
+    )
+    run_p.add_argument(
+        "--trace-filter", metavar="CATS", default=None,
+        help="comma-separated trace categories to record "
+        "(e.g. 'gateway,page'; default: all protocol categories)",
+    )
+    run_p.add_argument(
+        "--audit", action="store_true",
+        help="run the online invariant auditors against the trace bus "
+        "and print their report (nonzero exit on violations)",
+    )
+    run_p.add_argument(
         "--profile", action="store_true",
         help="attach the kernel profiler and print its per-category report",
     )
@@ -138,6 +153,12 @@ def main(argv=None) -> int:
     bench_p.add_argument(
         "--no-append", action="store_true",
         help="print the record without touching the trajectory file",
+    )
+    bench_p.add_argument(
+        "--trace-overhead", action="store_true",
+        help="instead of the suite, measure tracing overhead on one "
+        "pinned scenario (default scale-500, or the first --scenario); "
+        "exit nonzero if it exceeds the budget",
     )
     bench_p.add_argument(
         "--compare", metavar="LABEL", default=None,
@@ -220,17 +241,53 @@ def main(argv=None) -> int:
 
             profiler = KernelProfiler(cprofile=args.cprofile is not None)
             instruments = (profiler,)
-        result = run_experiment(cfg, instruments=instruments)
+        tracer = None
+        auditors = []
+        if args.trace or args.audit:
+            from repro.obs import Tracer, audit_report, standard_auditors
+
+            categories = None
+            if args.trace_filter:
+                categories = tuple(
+                    c.strip() for c in args.trace_filter.split(",") if c.strip()
+                )
+            tracer = Tracer(categories=categories)
+            if args.audit:
+                auditors = standard_auditors()
+                for auditor in auditors:
+                    tracer.subscribe(auditor)
+        result = run_experiment(cfg, instruments=instruments, tracer=tracer)
         print(result.summary())
+        if tracer is not None and args.trace:
+            tracer.export_jsonl(args.trace)
+            print(
+                f"wrote {sum(tracer.counts().values())} trace event(s) "
+                f"to {args.trace}"
+            )
+        if auditors:
+            for auditor in auditors:
+                auditor.finish(cfg.sim_time_s)
+            print()
+            print(audit_report(auditors))
         if profiler is not None:
             print()
             print(profiler.report())
             if args.cprofile:
                 profiler.dump_cprofile(args.cprofile)
                 print(f"wrote cProfile stats to {args.cprofile}")
+        if auditors and any(a.violations for a in auditors):
+            return 3
         return 0
 
     if args.command == "bench":
+        if args.trace_overhead:
+            scenario = (args.scenario or ["scale-500"])[0]
+            data = bench_mod.measure_trace_overhead(scenario)
+            print(bench_mod.format_trace_overhead(data))
+            return (
+                1 if data["overhead_frac"] > bench_mod.TRACE_OVERHEAD_BUDGET
+                else 0
+            )
         suite_scenarios, suite_path = bench_mod.SUITES[args.suite]
         names = args.scenario or sorted(suite_scenarios)
         output = args.output or suite_path

@@ -201,6 +201,14 @@ class GridProtocolBase(RoutingProtocol):
         )
 
     def on_death(self) -> None:
+        tr = self.node.tracer
+        if tr.gateway and self.role is Role.GATEWAY:
+            # Close the gateway tenure before the role flips so trace
+            # consumers (auditors, tenure timelines) see the handover.
+            tr.emit(
+                "gateway.demote", node=self.node.id, cell=self.my_cell,
+                reason="death",
+            )
         self.role = Role.DEAD
         self.hello_timer.stop()
         self.watch_timer.cancel()
@@ -274,6 +282,12 @@ class GridProtocolBase(RoutingProtocol):
             self.hosts.mark_active(cand.id)
         self.hosts.mark_active(self.node.id)
         self.counters.inc("gateway_elections")
+        tr = self.node.tracer
+        if tr.gateway:
+            tr.emit(
+                "gateway.elect", node=self.node.id, cell=self.my_cell,
+                inherited=self._inherited_host_table,
+            )
         if not self.hello_timer.running:
             self.hello_timer.start(initial_delay=self.params.hello_period_s)
         # Declare immediately: informs grid members and the neighbors.
@@ -286,6 +300,9 @@ class GridProtocolBase(RoutingProtocol):
     def demote_to_active(self) -> None:
         """Stop being the gateway (lost a conflict or retired)."""
         if self.role is Role.GATEWAY:
+            tr = self.node.tracer
+            if tr.gateway:
+                tr.emit("gateway.demote", node=self.node.id, cell=self.my_cell)
             self.role = Role.ACTIVE
             self.hosts.clear()
             self.my_gateway = None
@@ -388,6 +405,12 @@ class GridProtocolBase(RoutingProtocol):
             self._hello_response()
             return
         self.counters.inc("gateway_conflicts_lost")
+        tr = self.node.tracer
+        if tr.gateway:
+            tr.emit(
+                "gateway.conflict_lost", node=self.node.id,
+                cell=self.my_cell, other=other.id,
+            )
         transfer = TablesTransfer(
             cell=self.my_cell,
             rtab=self.routing.snapshot(),
@@ -455,6 +478,12 @@ class GridProtocolBase(RoutingProtocol):
             # interrupts (§3.2); the medium's bucket was updated by the
             # node already.
             return
+        tr = self.node.tracer
+        if tr.cell:
+            tr.emit(
+                "cell.enter", node=self.node.id, old=old_cell,
+                new=new_cell, role=self.role.value,
+            )
         self.my_cell = new_cell
         self.cell_peers.clear()
         if self.role is Role.GATEWAY:
@@ -469,6 +498,12 @@ class GridProtocolBase(RoutingProtocol):
         """The departing gateway wakes its grid, waits tau, then
         broadcasts RETIRE with its tables (§3.2)."""
         self.counters.inc("gateway_moves")
+        tr = self.node.tracer
+        if tr.gateway:
+            tr.emit(
+                "gateway.retire", node=self.node.id, cell=old_cell,
+                reason="move",
+            )
         self._retiring = True
         if self.uses_ras:
             self.node.ras.page_grid(self.node.radio, old_cell)
@@ -502,6 +537,12 @@ class GridProtocolBase(RoutingProtocol):
         if not self.is_gateway or self._retiring:
             return
         self.counters.inc("gateway_retirements")
+        tr = self.node.tracer
+        if tr.gateway:
+            tr.emit(
+                "gateway.retire", node=self.node.id, cell=self.my_cell,
+                reason="rotate",
+            )
         self._retiring = True
         if self.uses_ras:
             self.node.ras.page_grid(self.node.radio, self.my_cell)

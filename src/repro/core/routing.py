@@ -71,6 +71,12 @@ class GridRoutingMixin(GridProtocolBase):
         self._page_attempts: Dict[int, int] = {}
         #: Destinations with a `_flush_host_buffer` event in flight.
         self._page_flush_pending: Set[int] = set()
+        #: Bumped on every demotion/death.  Scheduled flush events carry
+        #: the epoch they were issued under and no-op if it has moved
+        #: on, so a flush from a previous gateway tenure cannot clear
+        #: the pending flag (or drain the buffer early) of a paging
+        #: episode started after re-election.
+        self._paging_epoch = 0
 
     # ------------------------------------------------------------------
     # Application entry
@@ -104,6 +110,7 @@ class GridRoutingMixin(GridProtocolBase):
         """Unicast to our gateway died: a no-gateway event (§3.2 case 2
         of the detection list).  Buffer and force re-election."""
         if self.role is Role.DEAD:
+            self._drop(packet, "node_died")
             return
         self.counters.inc("gateway_unreachable")
         self._queue_local(packet)
@@ -151,6 +158,7 @@ class GridRoutingMixin(GridProtocolBase):
 
     def _demote_cleanup(self) -> None:
         """Re-inject buffered work so the successor gateway handles it."""
+        self._paging_epoch += 1
         for p in self.pending.values():
             p.timer.cancel()
             while p.queue:
@@ -164,6 +172,7 @@ class GridRoutingMixin(GridProtocolBase):
         self._page_flush_pending.clear()
 
     def _routing_on_death(self) -> None:
+        self._paging_epoch += 1
         for p in self.pending.values():
             p.timer.cancel()
             while p.queue:
@@ -228,6 +237,7 @@ class GridRoutingMixin(GridProtocolBase):
         self, packet: DataPacket, dest: int, next_cell: GridCoord, gw_id: int
     ) -> None:
         if self.role is Role.DEAD:
+            self._drop(packet, "node_died")
             return
         self.counters.inc("forward_failures")
         rec = self.neighbor_gateways.get(next_cell)
@@ -259,6 +269,15 @@ class GridRoutingMixin(GridProtocolBase):
 
     def _in_grid_failed(self, packet: DataPacket, dest: int) -> None:
         if self.role is Role.DEAD:
+            self._drop(packet, "node_died")
+            return
+        if self.role is not Role.GATEWAY:
+            # We demoted while the unicast was in flight.  Buffering
+            # into ``host_buffers`` here would strand the packet (only
+            # gateways flush those buffers) and charging the failure to
+            # the host would poison the successor's view of it; requeue
+            # for whichever gateway we end up with instead.
+            self._queue_local(packet)
             return
         if self.page_sleeping_hosts:
             attempts = self._page_attempts.get(dest, 0)
@@ -293,7 +312,9 @@ class GridRoutingMixin(GridProtocolBase):
                 self._drop(buf.popleft(), "buffer_overflow")
             buf.append(packet)
         if dest in self._page_flush_pending:
-            return  # the in-flight flush will push this packet too
+            # The in-flight flush will push this packet too.
+            self._trace_page_state(dest)
+            return
         attempts = self._page_attempts.get(dest, 0)
         if attempts >= self._page_attempt_limit:
             self._drop_host_buffer(dest, "page_exhausted")
@@ -302,10 +323,22 @@ class GridRoutingMixin(GridProtocolBase):
         self.counters.inc("pages_sent")
         self.node.ras.page_host(self.node.radio, dest)
         self._page_flush_pending.add(dest)
-        self.sim.after(self._page_flush_delay_s, self._flush_host_buffer, dest)
+        self.sim.after(
+            self._page_flush_delay_s, self._flush_host_buffer, dest,
+            self._paging_epoch,
+        )
+        self._trace_page_state(dest)
 
-    def _flush_host_buffer(self, dest: int) -> None:
-        """Push buffered packets to a (hopefully) now-awake host."""
+    def _flush_host_buffer(self, dest: int, epoch: Optional[int] = None) -> None:
+        """Push buffered packets to a (hopefully) now-awake host.
+
+        ``epoch`` is set on the scheduled (page-delayed) flushes; a
+        stale one — issued before a demotion that has since been
+        reversed — must not touch the current episode's state.  Direct
+        calls (``_member_registered``) pass no epoch and always run.
+        """
+        if epoch is not None and epoch != self._paging_epoch:
+            return
         self._page_flush_pending.discard(dest)
         if self.role is not Role.GATEWAY:
             return
@@ -325,9 +358,30 @@ class GridRoutingMixin(GridProtocolBase):
         self.hosts.remove(dest)
         if not buf:
             return
+        tr = self.node.tracer
+        if tr.page:
+            tr.emit(
+                "page.drop", node=self.node.id, dest=dest,
+                count=len(buf), reason=reason,
+            )
         self.counters.inc("in_grid_drops", len(buf))
         while buf:
             self._drop(buf.popleft(), reason)
+
+    def _trace_page_state(self, dest: int) -> None:
+        """Emit the buffer/flush state for ``dest`` (``page.buffer``).
+
+        The :class:`~repro.obs.audit.BufferFlushAuditor` checks the
+        invariant this reports: a non-empty host buffer always has a
+        flush in flight."""
+        tr = self.node.tracer
+        if tr.page:
+            buf = self.host_buffers.get(dest)
+            tr.emit(
+                "page.buffer", node=self.node.id, dest=dest,
+                qlen=len(buf) if buf else 0,
+                pending=dest in self._page_flush_pending,
+            )
 
     def _member_registered(self, dest: int) -> None:
         """A host just (re)joined our grid: any route discovery we were
@@ -406,6 +460,13 @@ class GridRoutingMixin(GridProtocolBase):
         )
         self._remember_rreq((self.node.id, self._rreq_counter))
         self.counters.inc("rreq_originated")
+        tr = self.node.tracer
+        if tr.rreq:
+            tr.emit(
+                "rreq.flood", node=self.node.id, dst=p.dest,
+                rreq_id=self._rreq_counter, retries=p.retries,
+                restarts=p.restarts,
+            )
         self._broadcast(msg)
         p.timer.start(self.params.route_request_timeout_s)
 

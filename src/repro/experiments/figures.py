@@ -534,6 +534,80 @@ def _resilience(
     )
 
 
+# ----------------------------------------------------------------------
+# Trace-derived panels (not in the paper; read off the observability
+# layer's gateway/cell event streams — see docs/observability.md)
+# ----------------------------------------------------------------------
+def _gateway_tenure(
+    runner, speed, scale, seeds,
+    protocols: Sequence[str] = COMPARED,
+    qs: Sequence[float] = (10.0, 25.0, 50.0, 75.0, 90.0),
+) -> FigureData:
+    """Gateway tenure and no-gateway gap distributions per protocol.
+
+    Each run is traced with the ``gateway``/``cell`` categories and
+    reduced through :mod:`repro.obs.report`: ``{proto}:tenure_s`` is the
+    empirical distribution of individual gateway tenures (election to
+    demotion), ``{proto}:no_gw_s`` the distribution of per-cell
+    intervals during which no gateway covered the cell.  Runs bypass
+    the sweep engine and its result cache — cached
+    :class:`~repro.experiments.runner.ExperimentResult` records do not
+    carry traces.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.obs import Tracer
+    from repro.obs.report import (
+        gateway_tenures,
+        no_gateway_intervals,
+        percentiles,
+    )
+
+    per_label: Dict[str, Dict[int, Series]] = {}
+    results: Dict[str, ExperimentResult] = {}
+    for proto in protocols:
+        for seed in seeds:
+            cfg = _base(speed, scale, seed, protocol=proto)
+            tracer = Tracer(categories=("gateway", "cell"))
+            result = run_experiment(cfg, tracer=tracer)
+            results[f"protocol={proto}/seed={seed}"] = result
+            events = list(tracer.events("gateway"))
+            tenures = gateway_tenures(events, cfg.sim_time_s)
+            gaps = [
+                t1 - t0
+                for spans in no_gateway_intervals(
+                    events, cfg.sim_time_s
+                ).values()
+                for t0, t1 in spans
+            ]
+            for label, values in (
+                (f"{proto}:tenure_s", [t1 - t0 for _, _, t0, t1 in tenures]),
+                (f"{proto}:no_gw_s", gaps),
+            ):
+                pts = percentiles(values, qs)
+                if pts:
+                    per_label.setdefault(label, {})[seed] = pts
+    series: Dict[str, Series] = {}
+    bands: Dict[str, Series] = {}
+    raw: Dict[str, List[Series]] = {}
+    for label, by_seed in per_label.items():
+        replicates = [sorted(by_seed[s]) for s in seeds if s in by_seed]
+        raw[label] = replicates
+        series[label] = mean_series(replicates)
+        bands[label] = stddev_series(replicates)
+    return FigureData(
+        "gateway-tenure",
+        f"Gateway tenure / no-gateway gap distributions "
+        f"(speed {speed} m/s)",
+        "percentile",
+        "seconds",
+        series,
+        results,
+        bands,
+        raw,
+        list(seeds),
+    )
+
+
 #: Every regenerable figure, keyed by its canonical (CLI) name.  Each
 #: entry is ``impl(runner, speed, scale, seeds, **axes) -> FigureData``.
 FIGURES: Dict[str, Callable[..., FigureData]] = {
@@ -547,6 +621,7 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
     "ablation-search": _ablation_search,
     "ablation-gridsize": _ablation_gridsize,
     "resilience": _resilience,
+    "gateway-tenure": _gateway_tenure,
 }
 
 

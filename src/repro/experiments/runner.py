@@ -163,15 +163,25 @@ class ExperimentResult:
 
 
 def run_experiment(
-    config: ExperimentConfig, instruments=()
+    config: ExperimentConfig, instruments=(), tracer=None
 ) -> ExperimentResult:
     """Execute one full scenario and reduce it to a result record.
 
     ``instruments`` are attached to the event loop for the run (see
     :meth:`Network.run`); profiling a run changes its wall time but
     never its dispatch order or metrics.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) is attached to the
+    network before the run; protocol/PHY/MAC events stream into it
+    without perturbing the schedule.  If its ``sim`` category is
+    enabled it additionally rides the event loop as an instrument
+    (per-event dispatch timing; forces the instrumented loop).
     """
     network = build_network(config)
+    if tracer is not None:
+        network.attach_tracer(tracer)
+        if tracer.sim:
+            instruments = list(instruments) + [tracer]
     checker = None
     if network.fault_injector is not None:
         # Invariant clean-sample times feed the recovery metrics; the

@@ -97,29 +97,39 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Timed events
     # ------------------------------------------------------------------
+    def _trace(self, kind: str, node_id: int, applied: bool) -> None:
+        tr = self.network.tracer
+        if tr.fault:
+            tr.emit("fault." + kind, node=node_id, applied=applied)
+
     def _crash(self, ev: NodeCrash) -> None:
         node = self.network.nodes_by_id.get(ev.node_id)
         if node is None or not node.alive:
             self.log.append((self.sim.now, "node_crash",
                              f"node {ev.node_id} already down"))
+            self._trace("crash", ev.node_id, False)
             return
         node.crash()
         self.log.append((self.sim.now, "node_crash", f"node {ev.node_id}"))
+        self._trace("crash", ev.node_id, True)
 
     def _recover(self, ev: NodeRecover) -> None:
         revived = self.network.revive(ev.node_id, ev.energy_frac)
         detail = f"node {ev.node_id}" + ("" if revived else " still alive")
         self.log.append((self.sim.now, "node_recover", detail))
+        self._trace("recover", ev.node_id, revived)
 
     def _drain(self, ev: BatteryDrain) -> None:
         node = self.network.nodes_by_id.get(ev.node_id)
         if node is None or not node.alive or node.battery.infinite:
             self.log.append((self.sim.now, "battery_drain",
                              f"node {ev.node_id} not drainable"))
+            self._trace("drain", ev.node_id, False)
             return
         node.battery.drain(ev.joules, self.sim.now)
         self.log.append((self.sim.now, "battery_drain",
                          f"node {ev.node_id} -{ev.joules:g}J"))
+        self._trace("drain", ev.node_id, True)
         # Surface the consequence (depletion / band change) immediately.
         node.monitor.poll()
 

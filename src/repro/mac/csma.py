@@ -21,6 +21,7 @@ from repro.des.event import EventHandle
 from repro.mac.frames import ACK_WIRE_BYTES, AckFrame, Frame, FrameKind
 from repro.energy.profile import RadioMode
 from repro.net.packet import BROADCAST, LINK_OVERHEAD_BYTES
+from repro.obs.trace import NULL_TRACER
 from repro.phy.medium import Medium
 from repro.phy.radio import Radio
 
@@ -71,6 +72,10 @@ class _TxJob:
 class CsmaMac:
     """Per-node MAC entity."""
 
+    #: Trace sink (``radio.tx`` events); swapped in by the network when
+    #: tracing is on.
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         sim: Simulator,
@@ -92,6 +97,9 @@ class CsmaMac:
         self._ack_ev: Optional[EventHandle] = None
         self._seq = 0
         self._last_seq_from: Dict[int, int] = {}
+        #: Called with each queued message discarded by :meth:`shutdown`
+        #: (battery death), so upper layers can account lost payloads.
+        self.drop_reporter: Optional[Callable[[Any], None]] = None
         radio.frame_sink = self._on_frame
 
     # ------------------------------------------------------------------
@@ -147,13 +155,25 @@ class CsmaMac:
         return len(self._queue) + (1 if self._current is not None else 0)
 
     def shutdown(self) -> None:
-        """Stop all activity (battery death)."""
+        """Stop all activity (battery death).
+
+        Queued frames are discarded without their ``on_fail`` callbacks
+        (a dead node runs no protocol logic), but each discarded
+        message is handed to :attr:`drop_reporter` synchronously so
+        packet accounting sees the loss.
+        """
         if self._attempt_ev is not None:
             self._attempt_ev.cancel()
             self._attempt_ev = None
         if self._ack_ev is not None:
             self._ack_ev.cancel()
             self._ack_ev = None
+        report = self.drop_reporter
+        if report is not None:
+            if self._current is not None:
+                report(self._current.message)
+            for job in self._queue:
+                report(job.message)
         self._current = None
         self._queue.clear()
 
@@ -192,6 +212,13 @@ class CsmaMac:
             return
         frame = Frame(FrameKind.DATA, self.radio.node_id, job.dst, job.seq,
                       job.message, job.wire_bytes)
+        tr = self.tracer
+        if tr.radio:
+            tr.emit(
+                "radio.tx", node=self.radio.node_id,
+                awake=self.radio.base_mode is RadioMode.IDLE,
+                dst=job.dst, bytes=job.wire_bytes,
+            )
         airtime = self.medium.transmit(self.radio, frame, job.wire_bytes)
         if job.dst == BROADCAST:
             self.stats.sent_broadcast += 1
@@ -260,6 +287,13 @@ class CsmaMac:
         if self.radio.base_mode is not RadioMode.IDLE or self.radio.transmitting:
             return
         self.stats.acks_sent += 1
+        tr = self.tracer
+        if tr.radio:
+            tr.emit(
+                "radio.tx", node=self.radio.node_id,
+                awake=self.radio.base_mode is RadioMode.IDLE,
+                dst=ack.dst, bytes=ack.wire_bytes,
+            )
         self.medium.transmit(self.radio, ack, ack.wire_bytes)
 
     def _on_ack(self, ack: AckFrame) -> None:

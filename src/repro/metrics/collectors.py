@@ -3,34 +3,24 @@
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.des.core import Simulator
 from repro.net.packet import DataPacket
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import NULL_TRACER
 
 
-class Counters:
+class Counters(CounterRegistry):
     """Named event counters shared by protocol instances.
 
     Protocols increment e.g. ``hello_sent``, ``gateway_elections``,
-    ``pages_sent`` so experiments can report protocol overhead.
+    ``pages_sent`` so experiments can report protocol overhead.  The
+    counter semantics live in :class:`~repro.obs.counters
+    .CounterRegistry` (which adds gauges, histograms and timestamped
+    snapshots on top); this subclass exists so the network-wide tally
+    store keeps its established name and import path.
     """
-
-    def __init__(self) -> None:
-        self._c: Dict[str, int] = defaultdict(int)
-
-    def inc(self, name: str, amount: int = 1) -> None:
-        self._c[name] += amount
-
-    def get(self, name: str, default: int = 0) -> int:
-        return self._c.get(name, default)
-
-    def snapshot(self) -> Dict[str, int]:
-        return dict(self._c)
-
-    def __getitem__(self, name: str) -> int:
-        return self.get(name)
 
 
 class PacketLog:
@@ -40,6 +30,10 @@ class PacketLog:
     them (§4C): rate = received / issued; latency = mean elapsed time
     between transmission and (first) reception.
     """
+
+    #: Trace sink (``packet.*`` events); the network swaps in a live
+    #: tracer via :meth:`Network.attach_tracer`.
+    tracer = NULL_TRACER
 
     def __init__(self) -> None:
         self.sent: Dict[int, DataPacket] = {}
@@ -52,6 +46,12 @@ class PacketLog:
 
     def on_sent(self, packet: DataPacket) -> None:
         self.sent[packet.uid] = packet
+        tr = self.tracer
+        if tr.packet:
+            tr.emit(
+                "packet.sent", node=packet.src,
+                uid=packet.uid, dst=packet.dst,
+            )
 
     def on_delivered(self, packet: DataPacket, now: float) -> None:
         if packet.uid in self.delivered_at:
@@ -65,6 +65,12 @@ class PacketLog:
         created = origin.created_at if origin is not None else packet.created_at
         self.latencies.append(now - created)
         self.hop_counts.append(packet.hops)
+        tr = self.tracer
+        if tr.packet:
+            tr.emit(
+                "packet.delivered", node=packet.dst, t=now,
+                uid=packet.uid, latency_s=now - created, hops=packet.hops,
+            )
 
     def on_dropped(self, packet: DataPacket, now: float, reason: str) -> None:
         """A protocol discarded ``packet`` (buffer overflow, failed
@@ -74,6 +80,12 @@ class PacketLog:
         if packet.uid in self.delivered_at or packet.uid in self.dropped:
             return
         self.dropped[packet.uid] = (now, reason)
+        tr = self.tracer
+        if tr.packet:
+            tr.emit(
+                "packet.dropped", t=now,
+                uid=packet.uid, reason=reason,
+            )
 
     # ------------------------------------------------------------------
     @property

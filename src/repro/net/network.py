@@ -15,6 +15,7 @@ from repro.metrics.collectors import Counters, EnergySampler, PacketLog
 from repro.mobility.waypoint import RandomWaypoint
 from repro.net.node import Node
 from repro.net.packet import DataPacket
+from repro.obs.trace import NULL_TRACER
 from repro.phy.medium import Medium, MediumConfig
 from repro.phy.ras import RasChannel, RasConfig
 from repro.protocols.base import ProtocolParams, RoutingProtocol
@@ -128,6 +129,25 @@ class Network:
         self._started = False
         #: Set by :meth:`inject_faults`; None for fault-free runs.
         self.fault_injector = None
+        #: The null tracer unless :meth:`attach_tracer` installed one.
+        self.tracer = NULL_TRACER
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.obs.trace.Tracer` on every traced
+        component (nodes, MACs, RAS channel, packet log).  With no
+        tracer attached every component holds the shared
+        :data:`~repro.obs.trace.NULL_TRACER` and pays only a boolean
+        test per guarded emission site."""
+        self.tracer = tracer
+        tracer.bind(self.sim)
+        self.packet_log.tracer = tracer
+        self.ras.tracer = tracer
+        for node in self.nodes:
+            node.tracer = tracer
+            node.mac.tracer = tracer
 
     # ------------------------------------------------------------------
     # Traffic

@@ -14,6 +14,7 @@ from repro.geo.vector import Vec2
 from repro.mac.csma import CsmaMac, MacConfig
 from repro.mobility.base import MobilityModel, next_cell_crossing
 from repro.net.packet import DataPacket
+from repro.obs.trace import NULL_TRACER
 from repro.phy.medium import Medium
 from repro.phy.radio import Radio
 from repro.phy.ras import RasChannel
@@ -35,6 +36,10 @@ class Node:
     frames) to its routing protocol.  Protocols drive power state
     through :meth:`go_to_sleep` / :meth:`wake_up`.
     """
+
+    #: Trace sink shared by the node and its protocol; the network
+    #: swaps in a live tracer via :meth:`Network.attach_tracer`.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -77,6 +82,9 @@ class Node:
             mac_config,
         )
         self.mac.receive_handler = self._on_mac_receive
+        # Frames the MAC still held at battery death carry data packets
+        # that would otherwise vanish from the end-to-end accounting.
+        self.mac.drop_reporter = self._on_mac_shutdown_drop
 
         self.protocol: Optional["RoutingProtocol"] = None
         self.app_sink: Optional[AppSink] = None
@@ -148,8 +156,21 @@ class Node:
     def report_drop(self, packet: DataPacket, reason: str) -> None:
         """Called by the protocol when it discards a data packet, so
         end-to-end delivery accounting sees every loss with a reason."""
+        tr = self.tracer
+        if tr.drop:
+            tr.emit(
+                "drop." + reason, node=self.id,
+                uid=packet.uid, src=packet.src, dst=packet.dst,
+            )
         if self.drop_sink is not None:
             self.drop_sink(self, packet, reason)
+
+    def _on_mac_shutdown_drop(self, message: object) -> None:
+        """A queued frame was discarded by the MAC shutting down; if it
+        carried a data packet, account the loss."""
+        packet = getattr(message, "packet", None)
+        if isinstance(packet, DataPacket):
+            self.report_drop(packet, "node_died")
 
     def crash(self) -> None:
         """Fail the host instantly — §3.2's "gateway is down because of

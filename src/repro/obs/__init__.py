@@ -1,0 +1,48 @@
+"""Observability: structured tracing, counter registry, invariant
+auditors (see ``docs/observability.md``)."""
+
+from repro.obs.audit import (
+    Auditor,
+    AuditViolation,
+    BufferFlushAuditor,
+    ConservationAuditor,
+    GatewayUniquenessAuditor,
+    SleepingTransmitAuditor,
+    audit_report,
+    standard_auditors,
+)
+from repro.obs.counters import CounterRegistry
+from repro.obs.report import gateway_tenures, no_gateway_intervals, percentiles
+from repro.obs.trace import (
+    CATEGORIES,
+    DEFAULT_CATEGORIES,
+    NULL_TRACER,
+    TRACE_JSONL_SCHEMA,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    load_jsonl,
+)
+
+__all__ = [
+    "Auditor",
+    "AuditViolation",
+    "BufferFlushAuditor",
+    "ConservationAuditor",
+    "GatewayUniquenessAuditor",
+    "SleepingTransmitAuditor",
+    "audit_report",
+    "standard_auditors",
+    "CounterRegistry",
+    "gateway_tenures",
+    "no_gateway_intervals",
+    "percentiles",
+    "CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "NULL_TRACER",
+    "TRACE_JSONL_SCHEMA",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "load_jsonl",
+]

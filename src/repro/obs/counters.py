@@ -1,0 +1,141 @@
+"""The counter registry: counters, gauges and histograms under
+hierarchical dotted names.
+
+:class:`CounterRegistry` generalizes the ad-hoc tally dict the metrics
+layer grew up with.  Its counter surface (``inc`` / ``get`` /
+``snapshot`` / ``__getitem__``) is byte-for-byte compatible with the
+original ``metrics.collectors.Counters`` — which is now a subclass — so
+every existing protocol counter, experiment readout and golden digest
+is unchanged.  On top of counters it adds:
+
+- **gauges**: last-written values (``set_gauge`` / ``gauge``);
+- **histograms**: streaming count/total/min/max summaries
+  (``observe`` / ``histogram``), cheap enough for per-dispatch use;
+- **snapshot-at-time**: :meth:`snapshot_at` appends timestamped counter
+  snapshots to a timeline for before/after comparisons;
+- **hierarchical names**: dotted names with :meth:`subtree` filtering
+  (``registry.subtree("page")`` -> every ``page.*`` tally).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class _Histogram:
+    """Streaming summary of observed values (no per-sample storage)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class CounterRegistry:
+    """Named counters/gauges/histograms shared across a scenario."""
+
+    def __init__(self) -> None:
+        self._c: Dict[str, int] = defaultdict(int)
+        self._gauges: Dict[str, float] = {}
+        self._hist: Dict[str, _Histogram] = {}
+        self._timeline: List[Tuple[float, Dict[str, int]]] = []
+
+    # ------------------------------------------------------------------
+    # Counters (the legacy ``Counters`` contract — do not change the
+    # semantics: ``inc`` inserts the key even at amount 0, ``get`` and
+    # ``__getitem__`` never insert, ``snapshot`` is a plain dict copy.
+    # The golden kernel digests hash ``snapshot()``.)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._c[name] += amount
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._c.get(name, default)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._c)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        hist = self._hist.get(name)
+        if hist is None:
+            hist = self._hist[name] = _Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Optional[Dict[str, float]]:
+        hist = self._hist.get(name)
+        return None if hist is None else hist.summary()
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        return {name: h.summary() for name, h in self._hist.items()}
+
+    # ------------------------------------------------------------------
+    # Snapshot-at-time
+    # ------------------------------------------------------------------
+    def snapshot_at(self, t: float) -> Dict[str, int]:
+        """Record (and return) the counter snapshot at time ``t``."""
+        snap = self.snapshot()
+        self._timeline.append((t, snap))
+        return snap
+
+    def timeline(self) -> List[Tuple[float, Dict[str, int]]]:
+        return list(self._timeline)
+
+    # ------------------------------------------------------------------
+    # Hierarchical readout
+    # ------------------------------------------------------------------
+    def subtree(self, prefix: str) -> Dict[str, int]:
+        """Counters named ``prefix`` or ``prefix.*``."""
+        dotted = prefix + "."
+        return {
+            name: value
+            for name, value in self._c.items()
+            if name == prefix or name.startswith(dotted)
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """Everything, for reports and JSON export."""
+        return {
+            "counters": self.snapshot(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }

@@ -1,0 +1,95 @@
+"""Trace-derived analysis panels.
+
+Reduces ``gateway`` / ``cell`` trace streams to the quantities the
+paper's Fig. 6–8 discussion needs but the metrics layer never measured:
+per-gateway tenure intervals and per-cell no-gateway intervals (how
+long a grid sat without any gateway — ECGRID's wakeup guarantee breaks
+exactly while a cell is uncovered).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import TraceEvent
+
+Cell = Tuple[int, int]
+#: (node, cell, t_start, t_end) of one gateway tenure.
+Tenure = Tuple[int, Cell, float, float]
+
+
+def gateway_tenures(
+    events: Iterable[TraceEvent], horizon: float
+) -> List[Tenure]:
+    """Per-gateway tenure intervals from ``gateway.elect`` /
+    ``gateway.demote`` events.  Tenures still open at ``horizon`` are
+    closed there."""
+    open_at: Dict[int, Tuple[Cell, float]] = {}
+    tenures: List[Tenure] = []
+    for ev in events:
+        node = ev.node
+        if node is None:
+            continue
+        if ev.name == "gateway.elect":
+            cell = ev.fields.get("cell")
+            if cell is None:
+                continue
+            prior = open_at.get(node)
+            if prior is not None and prior[0] != cell:
+                tenures.append((node, prior[0], prior[1], ev.t))
+            if prior is None or prior[0] != cell:
+                open_at[node] = (cell, ev.t)
+        elif ev.name == "gateway.demote":
+            prior = open_at.pop(node, None)
+            if prior is not None:
+                tenures.append((node, prior[0], prior[1], ev.t))
+    for node, (cell, t0) in open_at.items():
+        tenures.append((node, cell, t0, horizon))
+    tenures.sort(key=lambda t: (t[2], t[0]))
+    return tenures
+
+
+def no_gateway_intervals(
+    events: Iterable[TraceEvent], horizon: float,
+    cells: Optional[Iterable[Cell]] = None,
+) -> Dict[Cell, List[Tuple[float, float]]]:
+    """Per-cell intervals during which *no* gateway covered the cell.
+
+    Coverage is the union of the cell's gateway tenures; the complement
+    within ``[0, horizon]`` is the no-gateway time.  ``cells`` defaults
+    to every cell that ever had a gateway (a cell no host ever served
+    has no baseline to measure against).
+    """
+    by_cell: Dict[Cell, List[Tuple[float, float]]] = {}
+    for _node, cell, t0, t1 in gateway_tenures(events, horizon):
+        by_cell.setdefault(cell, []).append((t0, t1))
+    if cells is None:
+        cells = by_cell.keys()
+    out: Dict[Cell, List[Tuple[float, float]]] = {}
+    for cell in cells:
+        covered = sorted(by_cell.get(cell, []))
+        gaps: List[Tuple[float, float]] = []
+        cursor = 0.0
+        for t0, t1 in covered:
+            if t0 > cursor:
+                gaps.append((cursor, t0))
+            cursor = max(cursor, t1)
+        if cursor < horizon:
+            gaps.append((cursor, horizon))
+        out[cell] = gaps
+    return out
+
+
+def percentiles(
+    values: List[float], qs: Iterable[float] = (0, 25, 50, 75, 100)
+) -> List[Tuple[float, float]]:
+    """``(q, value)`` points of the empirical distribution (nearest
+    rank), or an empty list for no samples."""
+    if not values:
+        return []
+    data = sorted(values)
+    out = []
+    for q in qs:
+        idx = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
+        out.append((float(q), data[idx]))
+    return out

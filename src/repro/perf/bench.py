@@ -171,6 +171,66 @@ def run_scenario(
     }
 
 
+#: Tracing (default categories, "sim" off) may cost at most this
+#: fraction of extra wall time on a pinned scenario; CI enforces it.
+TRACE_OVERHEAD_BUDGET = 0.15
+
+
+def measure_trace_overhead(
+    scenario: str = "scale-500", repeats: int = 2
+) -> Dict[str, Any]:
+    """Wall-clock cost of tracing on one pinned scenario.
+
+    Runs the scenario untraced and with a default-category
+    :class:`~repro.obs.trace.Tracer` attached (the ``sim`` category
+    stays off, so both runs use the fast dispatch loop), taking the
+    minimum wall time over ``repeats`` for each.  The event counts
+    must match exactly — tracing must never perturb the schedule.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.obs import Tracer
+
+    spec = ALL_SCENARIOS[scenario]
+    seed = spec["seeds"][0]
+
+    def _best(traced: bool):
+        best = None
+        for _ in range(max(1, repeats)):
+            result = run_experiment(
+                scenario_config(scenario, seed),
+                tracer=Tracer() if traced else None,
+            )
+            if best is None or result.wall_time_s < best.wall_time_s:
+                best = result
+        return best
+
+    off = _best(False)
+    on = _best(True)
+    if off.events_executed != on.events_executed:
+        raise RuntimeError(
+            f"tracing changed the event count on {scenario}: "
+            f"{off.events_executed} untraced vs {on.events_executed} traced"
+        )
+    return {
+        "scenario": scenario,
+        "events": off.events_executed,
+        "off_wall_s": off.wall_time_s,
+        "on_wall_s": on.wall_time_s,
+        "overhead_frac": on.wall_time_s / off.wall_time_s - 1.0,
+        "budget_frac": TRACE_OVERHEAD_BUDGET,
+    }
+
+
+def format_trace_overhead(data: Dict[str, Any]) -> str:
+    return (
+        f"trace overhead [{data['scenario']}] "
+        f"{data['off_wall_s']:.2f}s -> {data['on_wall_s']:.2f}s "
+        f"({data['overhead_frac'] * 100:+.1f}%, "
+        f"budget {data['budget_frac'] * 100:.0f}%, "
+        f"{data['events']} events)"
+    )
+
+
 def _cpu_model() -> str:
     """Human-readable CPU model, so absolute events/sec numbers in a
     trajectory file carry their hardware context."""

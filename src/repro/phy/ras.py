@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional
 
 from repro.des.core import Simulator
 from repro.geo.grid import GridCoord, GridMap
+from repro.obs.trace import NULL_TRACER
 from repro.phy.medium import Medium
 from repro.phy.radio import Radio
 
@@ -39,6 +40,10 @@ class RasConfig:
 
 class RasChannel:
     """The paging side-channel shared by all hosts."""
+
+    #: Trace sink (``page.sent`` events); swapped in by the network
+    #: when tracing is on.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -81,6 +86,12 @@ class RasChannel:
         sender cannot observe this; the return value serves tests).
         """
         self.pages_sent += 1
+        tr = self.tracer
+        if tr.page:
+            tr.emit(
+                "page.sent", node=sender.node_id,
+                target=target_id, kind="host",
+            )
         self._charge_sender(sender)
         target_radio = self._radios.get(target_id)
         if self.fault_hook is not None and self.fault_hook(
@@ -103,6 +114,12 @@ class RasChannel:
         alive host currently located in that cell is activated.  Returns
         how many RAS receivers fired."""
         self.broadcast_pages_sent += 1
+        tr = self.tracer
+        if tr.page:
+            tr.emit(
+                "page.sent", node=sender.node_id,
+                cell=cell, kind="grid",
+            )
         self._charge_sender(sender)
         if self.fault_hook is not None and self.fault_hook(sender, None, True):
             self.pages_fault_dropped += 1

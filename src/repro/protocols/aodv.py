@@ -183,6 +183,8 @@ class AodvProtocol(RoutingProtocol):
         self.hello_timer.stop()
         for d in self.discoveries.values():
             d.timer.cancel()
+            while d.queue:
+                self.node.report_drop(d.queue.popleft(), "node_died")
         self.discoveries.clear()
 
     def _send_hello(self) -> None:
@@ -432,6 +434,9 @@ class AodvProtocol(RoutingProtocol):
     # -- failure handling ----------------------------------------------------------
     def _link_broken(self, next_hop: int, packet: DataPacket) -> None:
         if not self.node.alive:
+            # The failure callback outlived us (queue-overflow call_soon
+            # racing battery death); nothing will salvage the packet.
+            self.node.report_drop(packet, "node_died")
             return
         self.counters.inc("aodv_link_breaks")
         self.neighbors.pop(next_hop, None)

@@ -104,6 +104,10 @@ class DsdvProtocol(RoutingProtocol):
 
     def on_death(self) -> None:
         self.advert_timer.stop()
+        for buf in self._undeliverable.values():
+            for packet in buf:
+                self.node.report_drop(packet, "node_died")
+        self._undeliverable.clear()
 
     # ------------------------------------------------------------------
     # Advertising
@@ -228,12 +232,15 @@ class DsdvProtocol(RoutingProtocol):
 
     def _send_failed(self, packet: DataPacket, next_hop: int) -> None:
         if not self.node.alive:
+            self.node.report_drop(packet, "node_died")
             return
         self._break_via(next_hop)
         # One salvage attempt once the table heals.
         buf = self._undeliverable.setdefault(packet.dst, [])
         if len(buf) < self.dsdv.buffer_limit:
             buf.append(packet)
+        else:
+            self.node.report_drop(packet, "buffer_overflow")
 
     def _flush_undeliverable(self, dest: int) -> None:
         buf = self._undeliverable.pop(dest, None)

@@ -64,6 +64,10 @@ class FloodingProtocol(RoutingProtocol):
             return
         if message.ttl <= 1:
             self.counters.inc("flood_ttl_drops")
+            # One copy of the flood died here; a sibling copy that gets
+            # through later outranks this (PacketLog first-drop/
+            # delivery-wins rules keep the accounting consistent).
+            self.node.report_drop(packet, "ttl_exhausted")
             return
         self.counters.inc("flood_rebroadcasts")
         # Tiny random delay decorrelates the rebroadcast storm.

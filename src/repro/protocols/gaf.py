@@ -255,13 +255,40 @@ class GafProtocol(GridFamilyProtocol):
         super()._on_hello(h)
 
     def _resolve_gateway_conflict(self, other: Hello) -> None:
-        """Two active nodes in one grid: lower GAF rank sleeps."""
+        """Two active nodes in one grid: lower GAF rank sleeps.
+
+        Ties in the quantized rank are broken by node id (built into
+        :func:`_rank`), so exactly one side sees itself as the loser.
+        The winner must *re-assert* so the loser actually hears a
+        higher-ranked beacon and steps down; when the tie is id-only
+        the re-assert cannot wait on the rate-limited
+        :meth:`_hello_response` — a suppressed response leaves both
+        nodes active (and beaconing gflag) for up to a full hello
+        period.
+        """
         if isinstance(other, GafDiscovery):
-            if _rank(True, other.enat, other.id, self.gaf.enat_quantum_s) > self._my_rank():
+            if other.id == self.node.id:
+                # A stale echo of our own beacon: its aged enat can
+                # outrank our freshly decayed one, and "losing" to
+                # ourselves would demote the grid's only active node
+                # and put it to sleep pointing at itself.
+                return
+            mine = self._my_rank()
+            theirs = _rank(True, other.enat, other.id, self.gaf.enat_quantum_s)
+            if theirs > mine:
                 self.active_timer.cancel()
                 self.demote_to_active()
                 self._set_my_gateway(other)
                 self._gaf_sleep()
+            elif theirs[:2] == mine[:2] and (
+                self.now - self._last_hello_sent
+                < 0.25 * self.params.hello_period_s
+            ):
+                # id-only tie while the response rate limiter would
+                # swallow our re-assert: beacon immediately.  Conflicts
+                # are rare (two actives in one grid), so this cannot
+                # storm the channel.
+                self._send_hello()
             else:
                 self._hello_response()
             return
@@ -284,6 +311,12 @@ class GafProtocol(GridFamilyProtocol):
     def on_cell_changed(self, old_cell: GridCoord, new_cell: GridCoord) -> None:
         if self.role in (Role.SLEEPING, Role.DEAD):
             return  # a sleeping GAF node sorts itself out at wakeup
+        tr = self.node.tracer
+        if tr.cell:
+            tr.emit(
+                "cell.enter", node=self.node.id, old=old_cell,
+                new=new_cell, role=self.role.value,
+            )
         self.my_cell = new_cell
         self.cell_peers.clear()
         self.gaf_peers.clear()

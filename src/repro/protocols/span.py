@@ -103,6 +103,8 @@ class SpanProtocol(AodvProtocol):
         self.window_timer.cancel()
         self.window_close_timer.cancel()
         self.announce_timer.cancel()
+        while self._deferred:
+            self.node.report_drop(self._deferred.popleft(), "node_died")
         super().on_death()
 
     def _window_open(self) -> None:
@@ -287,6 +289,7 @@ class SpanProtocol(AodvProtocol):
 
     def _defer(self, packet: DataPacket) -> None:
         if not self.node.alive:
+            self.node.report_drop(packet, "node_died")
             return
         self.counters.inc("span_deferred")
         if len(self._deferred) >= self.aodv.buffer_limit:

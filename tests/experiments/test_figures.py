@@ -78,3 +78,18 @@ def test_ablation_loadbalance():
 def test_ablation_gridsize():
     fig = figures.ablation_gridsize(sides=(80.0, 100.0), scale=SCALE, seed=3)
     assert len(fig.series["alive_end"]) == 2
+
+
+def test_gateway_tenure_figure():
+    fig = figures.figure(
+        "gateway_tenure", scale=0.06, seed=3,
+        protocols=("ecgrid",), qs=(50.0, 90.0),
+    )
+    assert fig.figure_id == "gateway-tenure"
+    assert "ecgrid:tenure_s" in fig.series
+    tenures = dict(fig.series["ecgrid:tenure_s"])
+    assert set(tenures) == {50.0, 90.0}
+    assert all(v >= 0.0 for v in tenures.values())
+    assert tenures[90.0] >= tenures[50.0]
+    for label, series in fig.series.items():
+        assert [x for x, _ in series] == sorted(x for x, _ in series)

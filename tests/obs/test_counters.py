@@ -1,0 +1,88 @@
+"""The counter registry: the legacy counter contract plus gauges,
+histograms, timestamped snapshots and hierarchical readout."""
+
+from repro.metrics.collectors import Counters
+from repro.obs.counters import CounterRegistry
+
+
+def test_legacy_counter_contract():
+    reg = CounterRegistry()
+    reg.inc("hello_sent")
+    reg.inc("hello_sent", 2)
+    reg.inc("pages_sent", 0)  # inserts the key at zero
+    assert reg.get("hello_sent") == 3
+    assert reg["hello_sent"] == 3
+    assert reg.get("missing") == 0
+    assert reg.get("missing", 7) == 7
+    snap = reg.snapshot()
+    assert snap == {"hello_sent": 3, "pages_sent": 0}
+    # get/__getitem__ never insert; snapshot is a detached copy.
+    assert "missing" not in reg.snapshot()
+    snap["hello_sent"] = 99
+    assert reg.get("hello_sent") == 3
+
+
+def test_metrics_counters_is_the_registry():
+    """The protocol-facing Counters class *is* a CounterRegistry, so
+    every existing tally transparently gains gauges and histograms."""
+    assert issubclass(Counters, CounterRegistry)
+    c = Counters()
+    c.inc("gateway_elections")
+    assert c.snapshot() == {"gateway_elections": 1}
+
+
+def test_gauges_hold_the_last_written_value():
+    reg = CounterRegistry()
+    assert reg.gauge("sim.queue_len") == 0.0
+    assert reg.gauge("sim.queue_len", -1.0) == -1.0
+    reg.set_gauge("sim.queue_len", 12)
+    reg.set_gauge("sim.queue_len", 8)
+    assert reg.gauge("sim.queue_len") == 8
+    assert reg.gauges() == {"sim.queue_len": 8}
+
+
+def test_histograms_stream_summaries():
+    reg = CounterRegistry()
+    assert reg.histogram("latency") is None
+    for v in (1.0, 3.0, 2.0):
+        reg.observe("latency", v)
+    summary = reg.histogram("latency")
+    assert summary["count"] == 3
+    assert summary["total"] == 6.0
+    assert summary["mean"] == 2.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 3.0
+    assert "latency" in reg.histograms()
+
+
+def test_snapshot_at_builds_a_timeline():
+    reg = CounterRegistry()
+    reg.inc("events")
+    reg.snapshot_at(1.0)
+    reg.inc("events", 4)
+    reg.snapshot_at(2.0)
+    timeline = reg.timeline()
+    assert [t for t, _ in timeline] == [1.0, 2.0]
+    assert timeline[0][1] == {"events": 1}
+    assert timeline[1][1] == {"events": 5}
+
+
+def test_subtree_filters_dotted_names():
+    reg = CounterRegistry()
+    reg.inc("page.sent", 2)
+    reg.inc("page.flush", 1)
+    reg.inc("pages_sent", 9)  # prefix-but-not-dotted must not match
+    reg.inc("gateway.elect", 1)
+    assert reg.subtree("page") == {"page.sent": 2, "page.flush": 1}
+    assert reg.subtree("page.sent") == {"page.sent": 2}
+
+
+def test_summary_bundles_everything():
+    reg = CounterRegistry()
+    reg.inc("a")
+    reg.set_gauge("g", 1.0)
+    reg.observe("h", 2.0)
+    summary = reg.summary()
+    assert summary["counters"] == {"a": 1}
+    assert summary["gauges"] == {"g": 1.0}
+    assert summary["histograms"]["h"]["count"] == 1

@@ -1,0 +1,79 @@
+"""Tier-2: the perf kill-switches are semantics-free under faults.
+
+``ECGRID_NO_TIMER_WHEEL`` / ``ECGRID_NO_NEAR_CACHE`` /
+``ECGRID_NO_TX_INDEX`` each swap a PR-4 fast path back to its
+reference implementation.  The golden harness already pins the
+switches on quiet scenarios; this matrix re-proves bit-for-bit
+dispatch/state equivalence on a *faulted* run — crashes, partitions,
+page loss and battery drain drive exactly the churny code paths
+(timer churn, neighbor-set invalidation, mid-transmission death) where
+a cache could go stale without anyone noticing.
+
+The switches are read at import time, so every cell of the matrix runs
+in a fresh subprocess.  Run with ``pytest -m tier2``.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+
+SCRIPT = """
+from repro.experiments.config import ExperimentConfig
+from repro.faults.plan import standard_fault_plan
+from repro.perf.trace import golden_run
+
+plan = standard_fault_plan(
+    0.5, sim_time_s=60.0, width_m=500.0, height_m=500.0,
+    n_hosts=24, initial_energy_j=40.0,
+)
+cfg = ExperimentConfig(
+    protocol="ecgrid", n_hosts=24, width_m=500.0, height_m=500.0,
+    sim_time_s=60.0, n_flows=4, max_speed_mps=2.0,
+    initial_energy_j=40.0, seed=2, faults=plan,
+)
+trace, state, _ = golden_run(cfg)
+print(trace, state)
+"""
+
+SWITCHES = (
+    "ECGRID_NO_TIMER_WHEEL",
+    "ECGRID_NO_NEAR_CACHE",
+    "ECGRID_NO_TX_INDEX",
+)
+
+
+def faulted_digests(disabled=()):
+    env = {
+        k: v for k, v in os.environ.items() if not k.startswith("ECGRID_NO_")
+    }
+    env["PYTHONPATH"] = SRC
+    for switch in disabled:
+        env[switch] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    trace, state = proc.stdout.split()
+    return trace, state
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return faulted_digests()
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("switch", SWITCHES)
+def test_each_killswitch_is_bit_for_bit_under_faults(switch, baseline):
+    assert faulted_digests((switch,)) == baseline
+
+
+@pytest.mark.tier2
+def test_all_killswitches_together_under_faults(baseline):
+    assert faulted_digests(SWITCHES) == baseline

@@ -1,0 +1,116 @@
+"""Regression: GAF gateway-conflict ties must resolve immediately.
+
+Two defects lived in ``GafProtocol._resolve_gateway_conflict``:
+
+- On an id-only rank tie the winner re-asserted through the
+  rate-limited ``_hello_response``; with the limiter hot (the winner
+  just beaconed — the common case, since the conflict was usually
+  *triggered* by that beacon) the re-assert was silently swallowed and
+  both nodes stayed gateways, double-beaconing gflag, for up to a full
+  hello interval.
+- A stale echo of the node's *own* discovery beacon could outrank its
+  freshly decayed enat, so the grid's only active node "lost" to
+  itself: it demoted, recorded itself as its own gateway, and went to
+  sleep, leaving the grid uncovered.
+"""
+
+from repro.core.base import Role
+from repro.protocols.gaf import GafDiscovery
+
+from tests.helpers import make_static_network
+
+
+def settle_two_gaf():
+    """Two GAF hosts alone in cell (0, 0); returns (net, gw, sleeper)."""
+    net = make_static_network([(30, 30), (70, 70)], protocol="gaf")
+    net.run(until=5.0)
+    a, b = net.nodes
+    if a.protocol.role is Role.GATEWAY:
+        assert b.protocol.role is Role.SLEEPING
+        return net, a, b
+    assert b.protocol.role is Role.GATEWAY
+    assert a.protocol.role is Role.SLEEPING
+    return net, b, a
+
+
+def conflict_beacon(proto, peer_id, enat=None):
+    """A gflag discovery beacon from ``peer_id`` in ``proto``'s cell."""
+    me = proto.self_candidate()
+    return GafDiscovery(
+        id=peer_id,
+        cell=proto.my_cell,
+        gflag=True,
+        level=me.level,
+        dist=me.dist,
+        enat=proto._enat() if enat is None else enat,
+        eligible=True,
+    )
+
+
+def test_tie_winner_reasserts_past_the_rate_limiter():
+    net, gw, _ = settle_two_gaf()
+    proto = gw.protocol
+    # Same enat bucket, higher id: we win on the id tiebreak alone.
+    beacon = conflict_beacon(proto, gw.id + 57)
+    # The limiter is hot, exactly as after the beacon that triggered
+    # the conflict; the seed code's _hello_response here was a no-op.
+    proto._last_hello_sent = proto.now
+    before = net.counters.get("hello_sent")
+
+    proto._resolve_gateway_conflict(beacon)
+
+    assert proto.role is Role.GATEWAY
+    assert net.counters.get("hello_sent") == before + 1  # immediate re-assert
+
+
+def test_non_tie_winner_still_uses_rate_limited_response():
+    """A rank win that is not an id-only tie keeps the polite path: no
+    immediate beacon while the limiter is hot (conflicts against a
+    clearly lower-ranked peer resolve on the peer's side anyway)."""
+    net, gw, _ = settle_two_gaf()
+    proto = gw.protocol
+    quantum = proto.gaf.enat_quantum_s
+    beacon = conflict_beacon(
+        proto, gw.id + 57, enat=max(0.0, proto._enat() - 2.0 * quantum)
+    )
+    proto._last_hello_sent = proto.now
+    before = net.counters.get("hello_sent")
+
+    proto._resolve_gateway_conflict(beacon)
+
+    assert proto.role is Role.GATEWAY
+    assert net.counters.get("hello_sent") == before
+
+
+def test_stale_self_echo_does_not_self_demote():
+    net, gw, _ = settle_two_gaf()
+    proto = gw.protocol
+    # Our own beacon, echoed back with an aged (higher-bucket) enat.
+    beacon = conflict_beacon(
+        proto, gw.id, enat=proto._enat() + 10.0 * proto.gaf.enat_quantum_s
+    )
+
+    proto._resolve_gateway_conflict(beacon)
+
+    assert proto.role is Role.GATEWAY
+    assert gw.awake
+    assert proto.my_gateway == gw.id
+
+
+def test_duplicate_gateways_converge_to_one():
+    """End-to-end: force a second gateway into the cell and let the
+    beacon exchange resolve it — exactly one survives, the loser
+    returns to sleep."""
+    net, gw, sleeper = settle_two_gaf()
+    sleeper.wake_up()
+    sleeper.protocol.sleep_timer.cancel()
+    sleeper.protocol.role = Role.ACTIVE
+    sleeper.protocol.become_gateway()
+
+    net.sim.run(until=net.sim.now + 2.5)
+
+    roles = [n.protocol.role for n in net.nodes]
+    gateways = [n for n in net.nodes if n.protocol.role is Role.GATEWAY]
+    assert len(gateways) == 1, roles
+    loser = next(n for n in net.nodes if n is not gateways[0])
+    assert loser.protocol.role is Role.SLEEPING
