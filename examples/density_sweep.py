@@ -14,9 +14,13 @@ Run:  python examples/density_sweep.py [--workers 4]
 
 import argparse
 
-from repro import ExperimentConfig
-from repro.experiments.report import format_summary_table, sparkline
-from repro.experiments.sweep import SweepRunner, SweepSpec
+from repro.api import (
+    ExperimentConfig,
+    SweepRunner,
+    SweepSpec,
+    format_summary_table,
+    sparkline,
+)
 
 SCALE = 0.25
 DENSITIES = (50, 100, 150, 200)     # paper's host counts (pre-scale)

@@ -17,10 +17,13 @@ simulate points whose config changed (``--cache-dir`` / ``--no-cache``).
 import argparse
 import os
 
-from repro.experiments.cache import ResultCache, default_cache_dir
-from repro.experiments.export import figure_to_csv
-from repro.experiments.figures import figure
-from repro.experiments.sweep import SweepRunner
+from repro.api import (
+    ResultCache,
+    SweepRunner,
+    default_cache_dir,
+    figure,
+    figure_to_csv,
+)
 
 
 def main() -> None:

@@ -12,8 +12,13 @@ Run:  python examples/protocol_faceoff.py [--scale 0.25] [--speed 1]
 
 import argparse
 
-from repro.experiments import figures
-from repro.experiments.report import sparkline
+from repro.api import (
+    ExperimentConfig,
+    FigureData,
+    SweepSpec,
+    sparkline,
+    sweep,
+)
 
 
 def main() -> None:
@@ -25,12 +30,33 @@ def main() -> None:
 
     print(f"running GRID / ECGRID / GAF at scale {args.scale}, "
           f"speed {args.speed} m/s ...")
-    runs = figures.lifetime_runs(args.speed, args.scale, args.seed)
+    # The shared workload behind Figs. 4 and 5, declared as one sweep
+    # (same grid figures.lifetime_spec builds internally).
+    run = sweep(SweepSpec(
+        name="faceoff",
+        base=ExperimentConfig(max_speed_mps=args.speed, pause_time_s=0.0),
+        axes={"protocol": ["grid", "ecgrid", "gaf"], "seed": [args.seed]},
+        scale=args.scale,
+    ))
+    runs = {o.point.axes["protocol"]: o.result for o in run.outcomes}
 
     print()
-    print(figures.fig4(args.speed, runs=runs).to_text())
+    print(FigureData(
+        "fig4",
+        f"Fraction of alive hosts vs time (speed {args.speed} m/s)",
+        "t(s)", "alive fraction",
+        {p: list(r.alive_fraction) for p, r in runs.items()},
+        runs,
+    ).to_text())
     print()
-    print(figures.fig5(args.speed, runs=runs).to_text())
+    print(FigureData(
+        "fig5",
+        f"Mean energy consumption per host (aen) vs time "
+        f"(speed {args.speed} m/s)",
+        "t(s)", "aen",
+        {p: list(r.aen) for p, r in runs.items()},
+        runs,
+    ).to_text())
 
     print()
     print("summary:")

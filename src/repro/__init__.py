@@ -10,8 +10,12 @@ The package is a full MANET simulation stack built for this paper:
   radios, the shared medium, RAS paging, CSMA/CA;
 - :mod:`repro.core` — **ECGRID**, the paper's protocol;
 - :mod:`repro.protocols` — the GRID and GAF baselines (+ flooding);
-- :mod:`repro.experiments` — the harness regenerating Figures 4–8;
-- :mod:`repro.obs` — structured tracing, counters, invariant auditors.
+- :mod:`repro.experiments` — the harness regenerating Figures 4–8
+  (import it through the :mod:`repro.api` facade);
+- :mod:`repro.obs` — structured tracing, counters, invariant auditors;
+- :mod:`repro.api` — the supported import surface of the experiment
+  layer (``run`` / ``sweep`` / ``figure`` / ``load_result``);
+- :mod:`repro.serve` — the asyncio job server (``ecgrid serve``).
 
 Quick start::
 
@@ -46,15 +50,21 @@ from repro.faults import (
     Partition,
     standard_fault_plan,
 )
-from repro.experiments import (
+# The experiment layer is consumed through its facade — the same
+# surface the CLI and the job server use (see docs/sweeps.md).
+from repro.api import (
     ExperimentConfig,
     ExperimentResult,
+    FigureData,
     ResultCache,
+    SweepRun,
     SweepRunner,
     SweepSpec,
     figure,
+    load_result,
     run_experiment,
 )
+from repro import api
 from repro.obs import (
     CounterRegistry,
     Tracer,
@@ -101,12 +111,16 @@ __all__ = [
     "Partition",
     "BatteryDrain",
     "standard_fault_plan",
+    "api",
     "ExperimentConfig",
     "ExperimentResult",
+    "FigureData",
     "ResultCache",
+    "SweepRun",
     "SweepRunner",
     "SweepSpec",
     "figure",
+    "load_result",
     "run_experiment",
     "CounterRegistry",
     "Tracer",

@@ -9,6 +9,7 @@ Examples::
     ecgrid ablation-hello --scale 0.2
     ecgrid fig4 --seeds 4 --workers 4    # parallel seed replication
     ecgrid fig4 --paper                  # full paper-scale parameters (slow)
+    ecgrid serve --port 8642             # HTTP job server (docs/serving.md)
 
 Figure subcommands run through the sweep engine: ``--workers N``
 simulates grid points on N processes (``0`` = inline serial), and
@@ -21,11 +22,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import figures
-from repro.experiments.cache import ResultCache, default_cache_dir
-from repro.experiments.config import ExperimentConfig, PROTOCOLS
-from repro.experiments.runner import run_experiment
-from repro.experiments.sweep import SweepRunner
+from repro.api import (
+    FIGURES,
+    PROTOCOLS,
+    ExperimentConfig,
+    FigureData,
+    ResultCache,
+    SweepRunner,
+    default_cache_dir,
+    figure,
+    run_experiment,
+)
 from repro.perf import bench as bench_mod
 
 
@@ -65,9 +72,9 @@ def _runner(args) -> SweepRunner:
     return SweepRunner(workers=args.workers, cache=cache)
 
 
-def _figure(name: str, args) -> "figures.FigureData":
+def _figure(name: str, args) -> FigureData:
     runner = _runner(args)
-    fig = figures.figure(
+    fig = figure(
         name,
         speed=args.speed,
         scale=_scale(args),
@@ -167,9 +174,41 @@ def main(argv=None) -> int:
         "more than 20%%",
     )
 
-    for name in figures.FIGURES:
+    for name in FIGURES:
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
         _add_common(fig_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP job server "
+        "(see docs/serving.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642)
+    serve_p.add_argument(
+        "--jobs", type=int, default=2,
+        help="jobs simulating concurrently (executor threads)",
+    )
+    serve_p.add_argument(
+        "--sweep-workers", type=int, default=0,
+        help="process-pool width per sweep/figure job (0 = inline points)",
+    )
+    serve_p.add_argument(
+        "--quota", type=int, default=4,
+        help="max queued+running jobs per tenant before HTTP 429",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-grid-point timeout in seconds (pooled sweeps only)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
 
     watch_p = sub.add_parser(
         "watch", help="run a scenario printing ASCII map snapshots"
@@ -185,9 +224,25 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.command == "serve":
+        from repro.serve import ServerConfig, serve
+
+        return serve(
+            ServerConfig(
+                host=args.host,
+                port=args.port,
+                sweep_workers=args.sweep_workers,
+                concurrency=args.jobs,
+                max_active_per_tenant=args.quota,
+                timeout_s=args.timeout,
+                cache_dir=args.cache_dir,
+                no_cache=args.no_cache,
+            )
+        )
+
     if args.command == "watch":
-        from repro.experiments.runner import build_network
-        from repro.experiments.snapshot import render
+        from repro.api import build_network
+        from repro.api import render_snapshot as render
 
         cfg = ExperimentConfig(
             protocol=args.protocol,
@@ -216,7 +271,7 @@ def main(argv=None) -> int:
     if args.command == "run":
         faults = None
         if args.faults:
-            from repro.faults.plan import FaultPlan
+            from repro.api import FaultPlan
 
             with open(args.faults) as fh:
                 faults = FaultPlan.from_json(fh.read())
@@ -309,13 +364,13 @@ def main(argv=None) -> int:
     fig = _figure(args.command, args)
     print(fig.to_text())
     if getattr(args, "csv", None):
-        from repro.experiments.export import figure_to_csv
+        from repro.api import figure_to_csv
 
         with open(args.csv, "w") as fh:
             fh.write(figure_to_csv(fig))
         print(f"wrote {args.csv}")
     if getattr(args, "json", None):
-        from repro.experiments.export import figure_to_json
+        from repro.api import figure_to_json
 
         with open(args.json, "w") as fh:
             fh.write(figure_to_json(fig))

@@ -4,10 +4,14 @@ The text tables in :mod:`repro.experiments.report` are for humans;
 these exporters feed external plotting (matplotlib, gnuplot, pandas)
 without adding any plotting dependency to the library.
 
-Both exporters emit a versioned schema (``"schema": 1``) and results
-round-trip losslessly through :func:`result_to_dict` /
-:func:`result_from_dict` — that round-trip is what the on-disk sweep
-cache (:mod:`repro.experiments.cache`) is built on.
+Both exporters emit one discriminated, versioned schema — every record
+carries ``"schema"`` (:data:`RESULT_SCHEMA`) and ``"kind"``
+(``"result"`` / ``"figure"``) — shared byte-for-byte with the HTTP
+responses of :mod:`repro.serve` (the version constant lives in
+:mod:`repro.serve.protocol`).  Results round-trip losslessly through
+:func:`result_to_dict` / :func:`result_from_dict` — that round-trip is
+what the on-disk sweep cache (:mod:`repro.experiments.cache`) is built
+on.
 """
 
 from __future__ import annotations
@@ -20,17 +24,25 @@ from typing import TYPE_CHECKING, Any, Dict, Mapping, Sequence, Tuple
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.timeseries import TimeSeries
 
+# The schema version lives with the wire protocol: the HTTP API serves
+# these exact records, so file export and server responses share one
+# version stamp (see docs/sweeps.md for the v2 -> v3 migration).
+from repro.serve.protocol import RESULT_SCHEMA
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.figures import FigureData
     from repro.experiments.runner import ExperimentResult
 
-#: Version of the exported result/figure dict layout.  Bump on any
-#: change to the keys or their meaning; cached results with a stale
-#: schema are treated as misses.
-#:
-#: 2: added per-reason drop accounting (``dropped``, ``drop_reasons``)
-#:    and fault-recovery scalars (``recovery``).
-RESULT_SCHEMA = 2
+__all__ = [
+    "RESULT_SCHEMA",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+    "figure_to_dict",
+    "figure_to_csv",
+    "figure_to_json",
+]
 
 
 def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
@@ -39,6 +51,7 @@ def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
     # Nested param dataclasses serialize too (to_dict recurses).
     return {
         "schema": RESULT_SCHEMA,
+        "kind": "result",
         "config": cfg,
         "sent": result.sent,
         "delivered": result.delivered,
@@ -81,6 +94,10 @@ def result_from_dict(data: Mapping[str, Any]) -> "ExperimentResult":
     if data.get("schema") != RESULT_SCHEMA:
         raise ValueError(
             f"result schema {data.get('schema')!r} != {RESULT_SCHEMA}"
+        )
+    if data.get("kind", "result") != "result":
+        raise ValueError(
+            f"record kind {data.get('kind')!r} is not a result record"
         )
     return ExperimentResult(
         config=ExperimentConfig.from_dict(data["config"]),
@@ -129,31 +146,34 @@ def figure_to_csv(fig: "FigureData") -> str:
     return out.getvalue()
 
 
-def figure_to_json(fig: "FigureData", indent: int = 2) -> str:
-    """Schema-versioned figure export.
+def figure_to_dict(fig: "FigureData") -> Dict[str, Any]:
+    """Schema-versioned figure record (the HTTP figure response body).
 
     ``series`` holds the mean curves, ``bands`` the pointwise sample
     stddev across seeds (all-zero for single-seed figures), ``raw`` the
     per-seed curves the mean was reduced from (in ``seeds`` order).
-    Wall-clock times are deliberately absent: the export is a pure
+    Wall-clock times are deliberately absent: the record is a pure
     function of the config grid, so re-running the same figure —
-    serially, in parallel, or from a warm cache — yields byte-identical
-    JSON.
+    serially, in parallel, or from a warm cache — yields an identical
+    record.
     """
-    return json.dumps(
-        {
-            "schema": RESULT_SCHEMA,
-            "figure_id": fig.figure_id,
-            "title": fig.title,
-            "x_label": fig.x_label,
-            "y_label": fig.y_label,
-            "seeds": list(fig.seeds),
-            "series": {k: list(v) for k, v in fig.series.items()},
-            "bands": {k: list(v) for k, v in fig.bands.items()},
-            "raw": {
-                k: [list(s) for s in per_seed]
-                for k, per_seed in fig.raw.items()
-            },
+    return {
+        "schema": RESULT_SCHEMA,
+        "kind": "figure",
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "x_label": fig.x_label,
+        "y_label": fig.y_label,
+        "seeds": list(fig.seeds),
+        "series": {k: list(v) for k, v in fig.series.items()},
+        "bands": {k: list(v) for k, v in fig.bands.items()},
+        "raw": {
+            k: [list(s) for s in per_seed]
+            for k, per_seed in fig.raw.items()
         },
-        indent=indent,
-    )
+    }
+
+
+def figure_to_json(fig: "FigureData", indent: int = 2) -> str:
+    """:func:`figure_to_dict`, serialized."""
+    return json.dumps(figure_to_dict(fig), indent=indent)

@@ -227,6 +227,17 @@ class SweepRunner:
         that exceeds it is retried once inline.
     progress:
         Optional callback, see :data:`ProgressFn`.
+    keep_pool:
+        With ``True`` the process pool survives across :meth:`run`
+        calls (a long-lived server amortizes worker startup); the
+        owner must eventually call :meth:`shutdown`.  The default
+        tears the pool down at the end of every sweep, as before.
+
+    A runner is also a context manager (``with SweepRunner(4) as r:``)
+    and :meth:`shutdown` is idempotent and safe mid-sweep: a ctrl-C or
+    a hung worker abandons the pool with ``wait=False`` instead of
+    blocking in the executor join, and the next :meth:`run` simply
+    builds a fresh pool — nothing leaks on double-close.
     """
 
     def __init__(
@@ -235,6 +246,7 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         timeout_s: Optional[float] = None,
         progress: Optional[ProgressFn] = None,
+        keep_pool: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -242,8 +254,37 @@ class SweepRunner:
         self.cache = cache
         self.timeout_s = timeout_s
         self.progress = progress
+        self.keep_pool = keep_pool
+        self._pool: Optional[ProcessPoolExecutor] = None
         self._total = 0
         self._done = 0
+
+    # -- pool lifecycle ---------------------------------------------------
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        """The live pool, building one if needed (after shutdown too)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the process pool (idempotent; safe to call twice,
+        from ``finally`` blocks, or on a runner that never pooled).
+
+        ``wait=False`` abandons in-flight work: pending futures are
+        cancelled and worker processes are left to exit on their own —
+        the only safe option after an interrupt or a hung worker.
+        The runner itself stays usable; the next pooled :meth:`run`
+        starts a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
 
     def run(self, spec: SweepSpec) -> SweepRun:
         points = spec.expand()
@@ -331,7 +372,7 @@ class SweepRunner:
         outcomes: List[Optional[SweepOutcome]],
     ) -> None:
         t0 = time.perf_counter()
-        pool = ProcessPoolExecutor(max_workers=self.workers)
+        pool = self._acquire_pool()
         clean = True
         try:
             futures = [(p, pool.submit(_execute, p.config)) for p in pending]
@@ -348,8 +389,18 @@ class SweepRunner:
                     self._retry_inline(outcomes, point, t0, exc)
                     continue
                 self._finish(outcomes, point, result, t0, retried=False)
+        except BaseException:
+            # Ctrl-C mid-sweep, a failed retry, a progress callback
+            # aborting the run: never block in the executor join (the
+            # old behaviour hung until every in-flight point finished,
+            # leaking the pool if the join itself was interrupted).
+            clean = False
+            raise
         finally:
-            pool.shutdown(wait=clean, cancel_futures=not clean)
+            if not clean:
+                self.shutdown(wait=False)
+            elif not self.keep_pool:
+                self.shutdown(wait=True)
 
 
 # ----------------------------------------------------------------------

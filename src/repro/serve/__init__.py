@@ -1,0 +1,65 @@
+"""Simulation-as-a-service: an asyncio job server over the sweep engine.
+
+``ecgrid serve`` exposes the experiment layer behind one stable,
+versioned HTTP surface (see ``docs/serving.md``):
+
+- :mod:`repro.serve.protocol` — typed request/response dataclasses and
+  the shared result/figure export schema (``RESULT_SCHEMA``);
+- :mod:`repro.serve.jobs` — the job table (states, per-tenant quotas,
+  dedup of identical in-flight cache keys, cache-hit fast path);
+- :mod:`repro.serve.events` — server-sent-events framing plus the
+  broker that streams job progress and trace events;
+- :mod:`repro.serve.app` — HTTP routes and server lifecycle.
+
+Exports resolve lazily so that importing ``repro.serve.protocol`` from
+the experiment layer (which shares its schema) never drags the asyncio
+server machinery in.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    # protocol
+    "API_VERSION": "repro.serve.protocol",
+    "RESULT_SCHEMA": "repro.serve.protocol",
+    "JOB_KINDS": "repro.serve.protocol",
+    "JOB_STATES": "repro.serve.protocol",
+    "ProtocolError": "repro.serve.protocol",
+    "SubmitRequest": "repro.serve.protocol",
+    "JobProgress": "repro.serve.protocol",
+    "JobView": "repro.serve.protocol",
+    "ErrorView": "repro.serve.protocol",
+    # jobs
+    "Job": "repro.serve.jobs",
+    "JobTable": "repro.serve.jobs",
+    "JobCancelled": "repro.serve.jobs",
+    "QuotaExceeded": "repro.serve.jobs",
+    "UnknownJob": "repro.serve.jobs",
+    # events
+    "EventBroker": "repro.serve.events",
+    "TraceRelay": "repro.serve.events",
+    "sse_frame": "repro.serve.events",
+    "parse_sse": "repro.serve.events",
+    # app
+    "JobServer": "repro.serve.app",
+    "ServerConfig": "repro.serve.app",
+    "serve": "repro.serve.app",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

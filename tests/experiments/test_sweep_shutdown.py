@@ -1,0 +1,82 @@
+"""SweepRunner pool lifecycle: idempotent, exception-safe shutdown."""
+
+import pytest
+
+from repro.api import ExperimentConfig, SweepRunner, SweepSpec
+
+TINY = ExperimentConfig(
+    protocol="grid", n_hosts=6, width_m=250.0, height_m=250.0,
+    n_flows=1, sim_time_s=5.0, initial_energy_j=50.0, seed=4,
+)
+
+
+def tiny_spec(n_seeds=2, name="shutdown"):
+    return SweepSpec(
+        name=name, base=TINY, axes={"seed": list(range(1, n_seeds + 1))}
+    )
+
+
+def test_shutdown_is_idempotent_without_pool():
+    runner = SweepRunner(workers=0)
+    runner.shutdown()
+    runner.shutdown()  # double-close must not raise
+    assert runner._pool is None
+
+
+def test_pooled_run_releases_pool_by_default():
+    runner = SweepRunner(workers=2)
+    run = runner.run(tiny_spec())
+    assert run.executed == 2
+    assert runner._pool is None  # torn down at end of sweep
+    runner.shutdown()
+    runner.shutdown()
+
+
+def test_keep_pool_reuses_one_pool_across_runs():
+    runner = SweepRunner(workers=2, keep_pool=True)
+    try:
+        runner.run(tiny_spec())
+        pool = runner._pool
+        assert pool is not None
+        runner.run(tiny_spec(name="shutdown-2"))
+        assert runner._pool is pool  # same pool, no respawn
+    finally:
+        runner.shutdown()
+    assert runner._pool is None
+    # shutdown released it; the next run transparently builds a new one
+    run = runner.run(tiny_spec(name="shutdown-3"))
+    assert run.executed == 2
+    runner.shutdown()
+
+
+def test_context_manager_shuts_down():
+    with SweepRunner(workers=2, keep_pool=True) as runner:
+        runner.run(tiny_spec())
+        assert runner._pool is not None
+    assert runner._pool is None
+
+
+def test_abort_mid_sweep_abandons_pool_without_blocking():
+    """A progress callback aborting the sweep (the job server's cancel
+    path) must not hang in the executor join nor leak the pool."""
+    def bomb(done, total, outcome):
+        raise KeyboardInterrupt("abort between points")
+
+    runner = SweepRunner(workers=2, progress=bomb)
+    with pytest.raises(KeyboardInterrupt):
+        runner.run(tiny_spec(n_seeds=4))
+    assert runner._pool is None  # abandoned with wait=False
+    # the runner stays usable afterwards
+    runner.progress = None
+    run = runner.run(tiny_spec(name="shutdown-after-abort"))
+    assert run.executed == 2
+    runner.shutdown()
+
+
+def test_context_manager_abandons_pool_on_exception():
+    with pytest.raises(RuntimeError):
+        with SweepRunner(workers=2, keep_pool=True) as runner:
+            runner.run(tiny_spec())
+            assert runner._pool is not None
+            raise RuntimeError("ctrl-C stand-in")
+    assert runner._pool is None
