@@ -176,10 +176,8 @@ class Node:
         """Fail the host instantly — §3.2's "gateway is down because of
         an accident": no RETIRE, no notice, the battery is simply gone.
         Public API for failure-injection experiments."""
-        if self.alive and not self.battery.infinite:
-            self.battery.settle(self.sim.now)
-            self.battery._remaining = 0.0
-            self.battery.depleted = True
+        if self.alive:
+            self.battery.exhaust(self.sim.now)
         self._on_depleted()
 
     def revive(self, protocol: "RoutingProtocol", energy_frac: float = 0.5) -> bool:

@@ -311,18 +311,22 @@ COMPARE_TOLERANCE = 0.20
 def compare_records(
     record: Dict[str, Any], baseline: Dict[str, Any]
 ) -> Tuple[str, bool]:
-    """Per-scenario speedup of ``record`` over ``baseline``.
+    """Per-scenario delta table of ``record`` over ``baseline``.
 
-    Returns ``(report, regressed)`` where ``regressed`` is True when
-    any scenario present in both records ran more than
-    ``COMPARE_TOLERANCE`` slower than the baseline.  Only events/sec is
-    compared; event-count mismatches are reported (they mean the two
-    records ran different workloads — e.g. across a behavior-changing
-    commit — which makes the speedup meaningless).
+    Each row shows events/sec and wall seconds side by side (the two
+    disagree whenever the event *count* moved, so showing only the
+    rate can hide a regression).  Returns ``(report, regressed)``
+    where ``regressed`` is True when any scenario present in both
+    records ran more than ``COMPARE_TOLERANCE`` slower (by events/sec)
+    than the baseline.  Event-count mismatches are flagged (they mean
+    the two records ran different workloads — e.g. across a
+    behavior-changing commit — which makes the speedup meaningless).
     """
     lines = [
         f"vs [{baseline.get('label') or 'unlabeled'}] "
-        f"rev {baseline.get('git_rev', '?')}"
+        f"rev {baseline.get('git_rev', '?')}",
+        f"  {'scenario':<12} {'base ev/s':>10} {'new ev/s':>10} "
+        f"{'speedup':>8} {'base s':>8} {'new s':>8} {'wall':>7}",
     ]
     regressed = False
     for name, data in record.get("scenarios", {}).items():
@@ -331,6 +335,9 @@ def compare_records(
             lines.append(f"  {name:<12} (not in baseline)")
             continue
         ratio = data["events_per_sec"] / base["events_per_sec"]
+        wall_ratio = (
+            base["wall_s"] / data["wall_s"] if data["wall_s"] > 0 else 0.0
+        )
         note = ""
         if data.get("events") != base.get("events"):
             note = "  [event counts differ: workloads not comparable]"
@@ -338,8 +345,10 @@ def compare_records(
             note = "  REGRESSION"
             regressed = True
         lines.append(
-            f"  {name:<12} {base['events_per_sec']:>10,.0f} -> "
-            f"{data['events_per_sec']:>10,.0f} ev/s  {ratio:5.2f}x{note}"
+            f"  {name:<12} {base['events_per_sec']:>10,.0f} "
+            f"{data['events_per_sec']:>10,.0f} {ratio:>7.2f}x "
+            f"{base['wall_s']:>8.2f} {data['wall_s']:>8.2f} "
+            f"{wall_ratio:>6.2f}x{note}"
         )
     return "\n".join(lines), regressed
 

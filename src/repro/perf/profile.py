@@ -20,6 +20,8 @@ import io
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.phy import array_backend
+
 #: Substring -> category rules, applied in order to the (unwrapped)
 #: callback qualname.  First match wins.
 CATEGORY_RULES: Tuple[Tuple[str, str], ...] = (
@@ -96,9 +98,25 @@ class KernelProfiler:
             cProfile.Profile() if cprofile else None
         )
         self._t0: Optional[float] = None
+        #: Batched gather calls observed in the ``phy.array``
+        #: bucket (the bucket's ``count`` stays 0 so the per-category
+        #: event counts still sum to :attr:`events`).
+        self.array_calls = 0
+        self._array_backends: Tuple[Any, ...] = ()
+        self._array_seconds_mark = 0.0
+        self._array_calls_mark = 0
 
     # -- Simulator instrument interface --------------------------------
     def on_run_begin(self, sim: Any) -> None:
+        # Any live array-PHY backends self-time their batched sections
+        # while we are attached, so their cost can be carved out of the
+        # enclosing mac / medium-completion buckets into ``phy.array``.
+        backends = array_backend.active_backends()
+        self._array_backends = backends
+        for b in backends:
+            b.timing = True
+        self._array_seconds_mark = sum(b.profile_seconds for b in backends)
+        self._array_calls_mark = sum(b.profile_calls for b in backends)
         self._t0 = perf_counter()
         if self._cprofile is not None:
             self._cprofile.enable()
@@ -106,6 +124,9 @@ class KernelProfiler:
     def on_run_end(self, sim: Any, wall_s: Optional[float] = None) -> None:
         if self._cprofile is not None:
             self._cprofile.disable()
+        for b in self._array_backends:
+            b.timing = False
+        self._array_backends = ()
         if wall_s is None:
             wall_s = perf_counter() - (self._t0 or perf_counter())
         self.wall_seconds += wall_s
@@ -117,11 +138,30 @@ class KernelProfiler:
         if category is None:
             category = self._classify(event.fn, qualname)
             self._by_qualname[qualname] = category
+        own = elapsed
+        if self._array_backends:
+            seconds = 0.0
+            calls = 0
+            for b in self._array_backends:
+                seconds += b.profile_seconds
+                calls += b.profile_calls
+            delta = seconds - self._array_seconds_mark
+            if delta > 0.0:
+                self._array_seconds_mark = seconds
+                self.array_calls += calls - self._array_calls_mark
+                self._array_calls_mark = calls
+                if delta > elapsed:
+                    delta = elapsed
+                own = elapsed - delta
+                arr_bucket = self.categories.get("phy.array")
+                if arr_bucket is None:
+                    arr_bucket = self.categories["phy.array"] = _Bucket()
+                arr_bucket.seconds += delta
         bucket = self.categories.get(category)
         if bucket is None:
             bucket = self.categories[category] = _Bucket()
         bucket.count += 1
-        bucket.seconds += elapsed
+        bucket.seconds += own
         self.events += 1
         self.callback_seconds += elapsed
 
@@ -160,6 +200,7 @@ class KernelProfiler:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "events": self.events,
+            "array_calls": self.array_calls,
             "wall_seconds": self.wall_seconds,
             "callback_seconds": self.callback_seconds,
             "events_per_sec": self.events_per_sec(),
@@ -203,6 +244,11 @@ class KernelProfiler:
             pct = 0.0 if cb == 0 else b.seconds / cb * 100.0
             lines.append(
                 f"  {cat:<28}{b.count:>10}{b.seconds:>10.3f}{pct:>6.1f}%"
+            )
+        if self.array_calls:
+            lines.append(
+                f"  (phy.array: {self.array_calls} batched gather "
+                f"calls, carved out of the enclosing buckets)"
             )
         return "\n".join(lines)
 

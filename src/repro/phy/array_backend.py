@@ -1,0 +1,683 @@
+"""Opt-in vectorized backend for the PHY/energy reception floor.
+
+PR 4 exhausted the constant-factor wins on the object kernel; what
+remains of a large run is per-reception Python — position/distance
+tests for straddling buckets and the inlined battery settle per radio
+mode flip.  This backend mirrors exactly that state as numpy
+structure-of-arrays and lets :meth:`Medium.transmit` /
+:meth:`Medium._finish` process a whole reception set in a handful of
+vector operations:
+
+- **battery mirrors** (``rem`` / ``draw`` / ``last_t`` joules
+  integration state) with *lazy per-radio reconciliation*: the columns
+  are the truth once a radio's settle has been deferred into them, and
+  every public :class:`~repro.energy.battery.Battery` entry point
+  pulls the column state back into the object (and pushes mutations
+  out) before touching it, so protocol code, fault injection, metrics
+  and digests observe exactly the values the object kernel would have
+  produced.  These columns are deliberately *plain Python lists*, not
+  numpy arrays: a reception set is only ~a dozen radios wide, where
+  unboxed list indexing beats ufunc dispatch several-fold — the wide
+  vector wins live in the geometry plane below;
+- **trajectory segment mirrors** (``p0 + v * (t - t0)`` coefficients)
+  refreshed lazily per radio when the mirrored segment no longer covers
+  the query time, so the straddle-bucket distance test of a whole
+  reception set is one fused multiply-add instead of a Python loop;
+- a **settle-safety mirror** (``infinite or check pending``) so the
+  batch can prove — without touching any monitor object — that a
+  vectorized settle cannot owe a depletion callback or a conservative
+  check booking;
+- a **kinetic receiver cache** (:meth:`ArrayPhyState.gather_cached`):
+  each rebuild of a sender's receiver set also computes, from the same
+  vectorized distance pass, a conservative *expiry* — the earliest sim
+  time any skip/take-all/in-range verdict could change, given how fast
+  the sender and every straddling candidate are moving — so repeat
+  transmissions from the same sender against the same neighbor
+  snapshot reuse the receiver list outright.
+
+Equivalence strategy
+--------------------
+Elementwise float64 arithmetic — numpy in the geometry plane (no FMA
+contraction), plain CPython in the energy columns — is bit-identical
+to the operations the object kernel performs, applied in the same
+per-radio order, so a deferred settle leaves every mirrored battery
+bit-for-bit where the object kernel would have.  Whenever a settle
+needs anything beyond pure arithmetic — a depletion callback, a
+mid-reception death, a conservative check booking, a backwards clock —
+*that radio* routes through ``BatteryMonitor.set_draw`` at exactly its
+position in the receiver order, so protocol-visible side effects fire
+at exactly the object kernel's sequence positions while its neighbors
+stay on the deferred path.  Receptions whose side effects always
+matter (frame delivery, RAS interactions) never enter the deferred
+path at all.
+
+Gating: default-off; ``ECGRID_ARRAY_PHY=1`` opts in,
+``ECGRID_NO_ARRAY_PHY=1`` is the kill switch, and a missing numpy or an
+unadoptable radio (no mobility model) silently deactivates the backend
+for that :class:`Medium` — the object path is always available and
+always authoritative.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import weakref
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+try:  # The container may lack numpy; the backend then never activates.
+    import numpy as np
+except Exception:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.energy.profile import RadioMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.energy.battery import Battery
+    from repro.phy.medium import Medium
+    from repro.phy.radio import Radio
+
+#: Depletion threshold — must match ``Battery._settle`` exactly.
+_DEPLETION_EPS = 1e-12
+
+#: Live backends in this process (weak: test suites build thousands of
+#: networks).  The profiler uses this to find backends to self-time.
+_ACTIVE: "weakref.WeakSet[ArrayPhyState]" = weakref.WeakSet()
+
+
+def enabled() -> bool:
+    """Is the array backend requested and available?
+
+    Read at :class:`~repro.phy.medium.Medium` construction (not import)
+    so tests can flip the environment per network build.
+    """
+    if np is None:
+        return False
+    if os.environ.get("ECGRID_NO_ARRAY_PHY"):
+        return False
+    return os.environ.get("ECGRID_ARRAY_PHY", "") not in ("", "0")
+
+
+def active_backends() -> Tuple["ArrayPhyState", ...]:
+    """Backends alive in this process (for profiler attribution)."""
+    return tuple(_ACTIVE)
+
+
+def _splice_take_all(receivers, missed, segments, splices):
+    """Replace the contributions of changed take-all buckets in a
+    cached gather result (see :meth:`ArrayPhyState.gather_cached`).
+
+    ``segments`` partitions ``receivers`` exactly — every receiver came
+    from some contributing bucket, segments are contiguous, and walk
+    order equals ascending snapshot position — so the list is rebuilt
+    by walking segments in key order, substituting each spliced
+    bucket's current awake tuple and sleeper count.  Returns the new
+    ``(receivers, missed, segments)``; the inputs are not mutated
+    (older cache entries may still alias them).
+    """
+    spliced = dict(splices)
+    out: List["Radio"] = []
+    new_segments = {}
+    for k in sorted(segments):
+        kind, start, length, miss = segments[k]
+        rect = spliced.get(k)
+        at = len(out)
+        if rect is None:
+            out.extend(receivers[start : start + length])
+            new_segments[k] = (kind, at, length, miss)
+        else:
+            awake = rect[5]
+            out.extend(awake)
+            new_miss = rect[7]
+            new_segments[k] = (-1, at, len(awake), new_miss)
+            missed += new_miss - miss
+    return out, missed, new_segments
+
+
+class ArrayPhyState:
+    """Structure-of-arrays mirror of one medium's radio population."""
+
+    #: Initial mirror capacity; grows by doubling.
+    _MIN_CAPACITY = 64
+
+    def __init__(self, medium: "Medium") -> None:
+        self.medium: Optional["Medium"] = medium
+        self.n = 0
+        self.radios: List["Radio"] = []
+        # Battery integration state (the truth while ``dirty``) — plain
+        # Python columns, see the module docstring for why.
+        self.rem: List[float] = []
+        self.draw: List[float] = []
+        self.last_t: List[float] = []
+        #: True while the column row is ahead of the Battery object.
+        self.dirty: List[bool] = []
+        #: ``infinite or check pending`` — True when a deferred settle
+        #: of this row can never owe a conservative check booking.
+        #: Kept current by :class:`~repro.energy.accounting
+        #: .BatteryMonitor`'s book/fire sites.
+        self.safe: List[bool] = []
+        # Geometry plane: active trajectory segment coefficients;
+        # ``t0 > t1`` marks an invalid row (refreshed lazily from the
+        # mobility model).
+        cap = self._MIN_CAPACITY
+        self.seg_t0 = np.full(cap, np.inf)
+        self.seg_t1 = np.full(cap, -np.inf)
+        self.seg_px = np.empty(cap)
+        self.seg_py = np.empty(cap)
+        self.seg_vx = np.empty(cap)
+        self.seg_vy = np.empty(cap)
+        #: Kinetic receiver cache: ``sender._arr_idx -> (snapshot,
+        #: expiry, receivers, missed)``.  Valid while the snapshot
+        #: object is identical (no bucket membership / base-mode change
+        #: anywhere in the ring) and ``now <= expiry`` (no distance
+        #: verdict can have flipped yet — see :meth:`_gather_rebuild`).
+        self._gather_cache: dict = {}
+        # Self-timing for the profiler's ``phy.array`` bucket (off
+        # unless a KernelProfiler is attached).
+        self.timing = False
+        self.profile_seconds = 0.0
+        self.profile_calls = 0
+        # Bound here (the medium module is fully loaded by the time a
+        # Medium constructs its backend) to avoid an import cycle.
+        from repro.phy.medium import _Reception
+
+        self._reception_cls = _Reception
+        _ACTIVE.add(self)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, need: int) -> None:
+        """Grow the geometry arrays (the list columns grow by append)."""
+        cap = len(self.seg_t0)
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in (
+            "seg_t0", "seg_t1", "seg_px", "seg_py", "seg_vx", "seg_vy",
+        ):
+            old = getattr(self, name)
+            new = np.empty(cap)
+            new[: len(old)] = old
+            setattr(self, name, new)
+
+    def adopt(self, radio: "Radio") -> None:
+        """Mirror a radio registering with the medium.
+
+        A radio the backend cannot represent (no mobility model, or a
+        battery already owned by another backend) deactivates the whole
+        backend: mixed populations silently use the object path.
+        """
+        if radio.mobility is None:
+            self.deactivate()
+            return
+        monitor = radio.monitor
+        battery = monitor.battery
+        idx = getattr(radio, "_arr_idx", -1)
+        if 0 <= idx < self.n and self.radios[idx] is radio:
+            # Re-registration (an injected revive): the object went
+            # through recharge/reactivate, so it is authoritative.
+            self._write_row(idx, radio, battery, monitor)
+            return
+        if battery._arr is not None and battery._arr is not self:
+            self.deactivate()
+            return
+        idx = self.n
+        self._ensure_capacity(idx + 1)
+        self.n = idx + 1
+        self.radios.append(radio)
+        for col in (self.rem, self.draw, self.last_t, self.dirty, self.safe):
+            col.append(0.0)  # placeholders; _write_row fills them
+        radio._arr_idx = idx
+        battery._arr = self
+        battery._idx = idx
+        self._write_row(idx, radio, battery, monitor)
+
+    def _write_row(self, idx, radio, battery, monitor) -> None:
+        self.rem[idx] = battery._remaining
+        self.draw[idx] = battery._draw_w
+        self.last_t[idx] = battery._last_t
+        self.dirty[idx] = False
+        self.safe[idx] = battery.infinite or monitor._check_pending
+        # Invalidate the segment mirror; refreshed on first query.
+        self.seg_t0[idx] = np.inf
+        self.seg_t1[idx] = -np.inf
+
+    def deactivate(self) -> None:
+        """Fold every dirty row back and detach from the medium.
+
+        After this the object path — always kept authoritative — serves
+        everything; stale snapshot index arrays are simply ignored.
+        """
+        for radio in self.radios:
+            battery = radio.monitor.battery
+            if battery._arr is self:
+                self.pull(battery)
+                battery._arr = None
+                battery._idx = -1
+        medium = self.medium
+        if medium is not None and medium._array is self:
+            medium._array = None
+        self.medium = None
+        self._gather_cache.clear()
+        _ACTIVE.discard(self)
+
+    # ------------------------------------------------------------------
+    # Battery coherence (called from ``Battery`` public entry points)
+    # ------------------------------------------------------------------
+    def pull(self, battery: "Battery") -> None:
+        """Reconcile a battery object from its (dirty) column row.
+
+        The columns hold plain Python floats, so the object fields stay
+        exactly what the state digests ``repr()``.
+        """
+        i = battery._idx
+        if self.dirty[i]:
+            battery._remaining = self.rem[i]
+            battery._draw_w = self.draw[i]
+            battery._last_t = self.last_t[i]
+            self.dirty[i] = False
+
+    def push(self, battery: "Battery") -> None:
+        """Write a mutated battery object back to its array row."""
+        i = battery._idx
+        self.rem[i] = battery._remaining
+        self.draw[i] = battery._draw_w
+        self.last_t[i] = battery._last_t
+        self.dirty[i] = False
+
+    def index_array(self, radios):
+        """Mirror indices of ``radios`` (snapshot build helper)."""
+        return np.fromiter(
+            (r._arr_idx for r in radios), dtype=np.intp, count=len(radios)
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized positions
+    # ------------------------------------------------------------------
+    def positions_at(self, idx, now: float):
+        """Positions of the radios at ``idx`` as ``(x, y)`` arrays.
+
+        Rows whose mirrored segment does not cover ``now`` under the
+        object kernel's boundary convention (``t0 < now <= t1``: the
+        earlier segment wins an exact boundary) are refreshed through
+        ``MobilityModel.position`` — which also advances the model's own
+        memo/cursor exactly as an object-path query would.  The fused
+        ``p0 + v * (now - t0)`` is the object kernel's formula on the
+        same coefficients, hence bit-identical.
+        """
+        t0 = self.seg_t0[idx]
+        covered = (t0 < now) & (now <= self.seg_t1[idx])
+        if not covered.all():
+            radios = self.radios
+            for k in np.nonzero(~covered)[0].tolist():
+                i = int(idx[k])
+                mob = radios[i].mobility
+                mob.position(now)
+                seg = mob._active_seg
+                self.seg_t0[i] = seg.t0
+                self.seg_t1[i] = seg.t1
+                p0 = seg.p0
+                v = seg.v
+                self.seg_px[i] = p0.x
+                self.seg_py[i] = p0.y
+                self.seg_vx[i] = v.x
+                self.seg_vy[i] = v.y
+            t0 = self.seg_t0[idx]
+        dt = now - t0
+        x = self.seg_px[idx] + self.seg_vx[idx] * dt
+        y = self.seg_py[idx] + self.seg_vy[idx] * dt
+        return x, y
+
+    # ------------------------------------------------------------------
+    # The reception floor
+    # ------------------------------------------------------------------
+    def gather_cached(
+        self, sender, snapshot, pos, now: float, radius: float, stats
+    ) -> List["Radio"]:
+        """Receiver candidates for one transmission, served from the
+        kinetic per-sender cache when provably unchanged.
+
+        A hit requires ``now`` inside the rebuild's certified validity
+        window and the *same snapshot object* (so no radio anywhere in
+        the ring crossed a cell or changed base mode since the rebuild
+        — bucket mutations always republish the snapshot).  The
+        sleeper-miss count is part of the cached result: the
+        certificates cover sleeping straddlers too, so it is exactly
+        the count the object kernel would have produced.
+
+        A *republished* snapshot does not necessarily retire the entry:
+        unchanged buckets keep their rect object (the medium reuses
+        them), so the entry is **rescued** when every rect is either
+        identical or — same bucket, contents changed — was certified
+        *skipped* or *take-all* by the rebuild.  A skipped bucket
+        contributes nothing to receivers or the miss count no matter
+        who is in it; a take-all bucket's contribution is exactly its
+        current awake tuple plus its sleeper count, with no position
+        arithmetic at all (every member sits inside the rectangle the
+        corner certificate covers), so the changed bucket's segment is
+        **spliced** into the cached receiver list.  Both certificates
+        are purely geometric (static bounds vs. sender motion), so the
+        stored expiry still covers them.  Any structural change (bucket
+        appeared/emptied — list length or bounds differ) or a content
+        change in a *straddling* bucket falls through to a full
+        rebuild.
+        """
+        cache = self._gather_cache
+        entry = cache.get(sender._arr_idx)
+        if entry is not None and now <= entry[1]:
+            old = entry[0]
+            if old is snapshot:
+                missed = entry[3]
+                if missed:
+                    stats.frames_missed_asleep += missed
+                return entry[2]
+            if len(old) == len(snapshot):
+                segments = entry[4]
+                splices = None
+                ok = True
+                for k, rect in enumerate(snapshot):
+                    o = old[k]
+                    if rect is o:
+                        continue
+                    if rect[0] != o[0] or rect[1] != o[1]:
+                        ok = False  # structural change: buckets shifted
+                        break
+                    seg = segments.get(k)
+                    if seg is None:
+                        continue    # certified skipped: contents moot
+                    if seg[0] != -1:
+                        ok = False  # straddle: positions would matter
+                        break
+                    if splices is None:
+                        splices = []
+                    splices.append((k, rect))
+                if ok:
+                    receivers = entry[2]
+                    missed = entry[3]
+                    if splices:
+                        receivers, missed, segments = _splice_take_all(
+                            receivers, missed, segments, splices
+                        )
+                    cache[sender._arr_idx] = (
+                        snapshot, entry[1], receivers, missed, segments,
+                    )
+                    if missed:
+                        stats.frames_missed_asleep += missed
+                    return receivers
+        receivers, missed, expiry, segments = self._gather_rebuild(
+            sender, snapshot, pos, now, radius
+        )
+        cache[sender._arr_idx] = (snapshot, expiry, receivers, missed, segments)
+        if missed:
+            stats.frames_missed_asleep += missed
+        return receivers
+
+    def _gather_rebuild(
+        self, sender, snapshot, pos, now: float, radius: float
+    ):
+        """Awake, in-range receiver candidates of a cached snapshot, in
+        the object kernel's order (row-major buckets, insertion order
+        within a bucket), with sleeper misses counted — plus the
+        *expiry* of the result's validity certificate and the frozen
+        set of snapshot positions that contributed (take-all or
+        straddle; everything else was certified skipped, which the
+        rescue path in :meth:`gather_cached` relies on).
+
+        Bucket classification (skip / take-all / straddle, with the
+        same 1e-9 guard bands) is scalar per rectangle; all straddling
+        candidates across all buckets share one vectorized
+        position-and-distance pass.
+
+        Certificates: every verdict the gather takes is a distance
+        comparison, and every distance involved is 1-Lipschitz in each
+        endpoint's position, so a verdict with margin ``m`` cannot flip
+        before ``m`` metres of relative motion have accrued:
+
+        - a *skipped* bucket contributes nothing while its gap exceeds
+          the range (margin ``gap - r``, closing speed ``|v_sender|`` —
+          the rectangle is static);
+        - a *take-all* bucket keeps contributing its whole awake list
+          and sleeper count while its farthest corner stays within
+          range (margin ``r - corner``); even reclassified as straddle
+          the per-member outputs are identical because every member
+          lies inside its own rectangle;
+        - each *straddling* candidate — awake or asleep, in range or
+          not — keeps its verdict while ``|d - r|`` exceeds the accrued
+          motion (closing speed ``|v_sender| + |v_candidate|``).
+
+        The horizon ``min(margin/closing)`` is shaved by 1e-9 m of
+        margin (dominates the float64 error of the position/distance
+        arithmetic at map scale) and a 1e-6 relative factor, then
+        capped by the end of every involved trajectory segment — past a
+        waypoint the velocity bound no longer holds.  A non-positive
+        horizon still certifies reuse at the identical timestamp, where
+        the rebuild would recompute bit-identical inputs.
+        """
+        px, py = pos
+        r2 = radius * radius
+        skip2 = r2 * (1.0 + 1e-9)
+        take2 = r2 * (1.0 - 1e-9)
+        receivers: List["Radio"] = []
+        extend = receivers.extend
+        append = receivers.append
+        parts = []  # straddler index arrays, in walk order
+        plan = []   # (k, awake_tuple, n_awake, n_sleepers); -1 = take-all
+        missed = 0
+        min_gap2 = math.inf     # nearest skipped bucket
+        max_corner2 = -1.0      # farthest take-all corner
+        index_array = self.index_array
+        for k, rect in enumerate(snapshot):
+            x0 = rect[0]
+            y0 = rect[1]
+            x1 = rect[2]
+            y1 = rect[3]
+            gx = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
+            gy = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
+            g2 = gx * gx + gy * gy
+            if g2 > skip2:
+                if g2 < min_gap2:
+                    min_gap2 = g2
+                continue
+            hx = px - x0 if px - x0 > x1 - px else x1 - px
+            hy = py - y0 if py - y0 > y1 - py else y1 - py
+            h2 = hx * hx + hy * hy
+            awake = rect[5]
+            if h2 < take2:
+                if h2 > max_corner2:
+                    max_corner2 = h2
+                missed += rect[7]
+                plan.append((k, awake, -1, rect[7]))
+                continue
+            sleepers = rect[6]
+            n_aw = len(awake)
+            n_sl = len(sleepers)
+            if n_aw:
+                aw_idx = rect[8]
+                if aw_idx is None:
+                    aw_idx = rect[8] = index_array(awake)
+                parts.append(aw_idx)
+            if n_sl:
+                sl_idx = rect[9]
+                if sl_idx is None:
+                    sl_idx = rect[9] = index_array(sleepers)
+                parts.append(sl_idx)
+            plan.append((k, awake, n_aw, n_sl))
+        dist2 = None
+        if parts:
+            allidx = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            x, y = self.positions_at(allidx, now)
+            dx = x - px
+            dy = y - py
+            dist2 = dx * dx + dy * dy
+            # One bulk materialization; the per-bucket verdict walk
+            # below then runs on plain Python bools — bucket slices are
+            # ~a dozen elements, where list ops beat ufunc dispatch.
+            flags = (dist2 <= r2).tolist()
+        off = 0
+        segments: dict = {}  # k -> (kind, start, length, miss); -1 take-all
+        for k, awake, n_aw, n_sl in plan:
+            start = len(receivers)
+            if n_aw < 0:
+                extend(awake)
+                segments[k] = (-1, start, len(awake), n_sl)
+                continue
+            if n_aw:
+                mask = flags[off : off + n_aw]
+                off += n_aw
+                if all(mask):
+                    extend(awake)
+                else:
+                    for j, hit in enumerate(mask):
+                        if hit:
+                            append(awake[j])
+            miss_k = 0
+            if n_sl:
+                miss_k = sum(flags[off : off + n_sl])
+                off += n_sl
+                missed += miss_k
+            segments[k] = (1, start, len(receivers) - start, miss_k)
+        # Validity certificate (see docstring).  ``positions_at`` above
+        # refreshed every straddler's segment mirror for ``now``, so
+        # the velocity and segment-end reads below are current.
+        mob = sender.mobility
+        mob.position(now)
+        seg = mob._active_seg
+        v_s = math.hypot(seg.v.x, seg.v.y) + 1e-30
+        cap = seg.t1
+        horizon = math.inf
+        if min_gap2 < math.inf:
+            horizon = (math.sqrt(min_gap2) - radius - 1e-9) / v_s
+        if max_corner2 >= 0.0:
+            h = (radius - math.sqrt(max_corner2) - 1e-9) / v_s
+            if h < horizon:
+                horizon = h
+        if dist2 is not None:
+            vx = self.seg_vx[allidx]
+            vy = self.seg_vy[allidx]
+            closing = np.sqrt(vx * vx + vy * vy) + v_s
+            margins = np.abs(np.sqrt(dist2) - radius) - 1e-9
+            h = float((margins / closing).min())
+            if h < horizon:
+                horizon = h
+            t1 = float(self.seg_t1[allidx].min())
+            if t1 < cap:
+                cap = t1
+        if horizon < 0.0:
+            horizon = 0.0
+        expiry = now + horizon * (1.0 - 1e-6)
+        if expiry > cap:
+            expiry = cap
+        return receivers, missed, expiry, segments
+
+    def begin_receptions(
+        self, tx, receivers: Iterable["Radio"], pos, now: float, medium
+    ) -> None:
+        """Create the reception records and charge the IDLE→RX flips.
+
+        The per-receiver residue (reception record, collision marking,
+        fault hook and gray-zone RNG draws, ``rx_count``) runs in exact
+        object order — none of it schedules events — with the mode-flip
+        settle inlined per radio (see :meth:`settle_flip`): deferred
+        into the mirror when pure, through the monitor at this exact
+        receiver position otherwise.
+        """
+        config = medium.config
+        stats = medium.stats
+        unit_disk = config.loss_model == "unit_disk"
+        model_collisions = config.model_collisions
+        rx_in_progress = medium._rx_in_progress
+        fault_hook = medium.fault_hook
+        loss_rng = medium._loss_rng
+        rx_mode = RadioMode.RX
+        receptions_append = tx.receptions.append
+        reception_cls = self._reception_cls
+        rem = self.rem
+        draw = self.draw
+        last_t = self.last_t
+        dirty = self.dirty
+        safe = self.safe
+        eps = _DEPLETION_EPS
+        for radio in receivers:
+            # Half-duplex; also skips the sender (``begin_tx`` ran).
+            if radio.transmitting:
+                continue
+            rec = reception_cls(radio)
+            if fault_hook is not None and fault_hook(pos, radio):
+                rec.corrupted = True
+                stats.frames_fault_dropped += 1
+            if not unit_disk:
+                p = config.reception_probability(pos.dist(radio.position()))
+                if p < 1.0 and loss_rng.random() >= p:
+                    rec.corrupted = True
+            nid = radio.node_id
+            ongoing = rx_in_progress.get(nid)
+            if ongoing is None:
+                ongoing = rx_in_progress[nid] = []
+            if ongoing and model_collisions:
+                rec.corrupted = True
+                for other in ongoing:
+                    other.corrupted = True
+            ongoing.append(rec)
+            radio.rx_count += 1
+            if radio._effective is not rx_mode:
+                # Inlined :meth:`settle_flip` (IDLE→RX).
+                i = radio._arr_idx
+                last = last_t[i]
+                new_rem = rem[i] - draw[i] * (now - last)
+                old = radio._effective
+                radio._effective = rx_mode
+                if new_rem <= eps or not safe[i] or last > now:
+                    radio.monitor.set_draw(radio._p_rx)
+                else:
+                    rem[i] = new_rem
+                    last_t[i] = now
+                    draw[i] = radio._p_rx
+                    dirty[i] = True
+                cb = radio.on_mode_change
+                if cb is not None:
+                    cb(old, rx_mode)
+            receptions_append(rec)
+
+    def settle_flip(self, radio: "Radio", now: float, to_rx: bool) -> None:
+        """Charge one IDLE↔RX flip, lazily when provably pure.
+
+        The pure case — the radio does not deplete (``new_rem`` above
+        the object kernel's 1e-12 J threshold), a conservative check is
+        already pending (or the battery is infinite — ``safe``), and
+        the clock is monotone — defers the settle into the mirror row
+        and marks it dirty; public battery reads reconcile later.
+        Anything else routes through ``BatteryMonitor.set_draw`` (which
+        pulls the row first), so depletion callbacks and check bookings
+        allocate their simulator events at exactly this radio's
+        position in the receiver order.
+
+        An infinite battery mirrors ``rem = inf``, so ``inf - draw*dt``
+        is still ``inf``: it can neither trip the depletion test nor
+        (``safe`` is always True for it) the booking test, matching the
+        object kernel's ``infinite`` short-circuit bit for bit.
+        """
+        i = radio._arr_idx
+        last = self.last_t[i]
+        new_rem = self.rem[i] - self.draw[i] * (now - last)
+        watts = radio._p_rx if to_rx else radio._p_idle
+        old = radio._effective
+        radio._effective = RadioMode.RX if to_rx else RadioMode.IDLE
+        if new_rem <= _DEPLETION_EPS or not self.safe[i] or last > now:
+            radio.monitor.set_draw(watts)
+        else:
+            self.rem[i] = new_rem
+            self.last_t[i] = now
+            self.draw[i] = watts
+            self.dirty[i] = True
+        cb = radio.on_mode_change
+        if cb is not None:
+            cb(old, radio._effective)
+
+    def settle_flips(
+        self, radios: List["Radio"], now: float, to_rx: bool
+    ) -> None:
+        """Charge a batch of IDLE↔RX flips, in receiver order."""
+        for r in radios:
+            self.settle_flip(r, now, to_rx)

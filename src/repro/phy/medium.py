@@ -23,12 +23,15 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.des.core import Simulator
 from repro.energy.profile import RadioMode
 from repro.geo.grid import GridCoord, GridMap
 from repro.geo.vector import Vec2
+from repro.phy import array_backend
+from repro.phy.array_backend import _DEPLETION_EPS
 from repro.phy.radio import Radio
 
 #: Kill switches for the spatial-index optimizations (ablation and
@@ -107,15 +110,17 @@ class _Transmission:
 
 
 #: One covering-bucket rectangle of a cached neighbor snapshot:
-#: ``(x0, y0, x1, y1, all_radios, awake, sleepers, len(sleepers))``.
+#: ``(x0, y0, x1, y1, all_radios, awake, sleepers, len(sleepers),
+#: awake_idx, sleeper_idx)``.
 #: ``awake`` / ``sleepers`` partition the bucket by *base* mode at
 #: build time (OFF radios appear only in ``all_radios``); every base
 #: mode flip invalidates the covering snapshots (via the radio's
 #: ``on_base_mode_flip`` hook), so the partition is never stale.
-_SnapRect = Tuple[
-    float, float, float, float,
-    Tuple[Radio, ...], Tuple[Radio, ...], Tuple[Radio, ...], int,
-]
+#: A snapshot bucket: rect bounds, radio partition, and two trailing
+#: slots the array backend lazily fills with numpy index arrays into
+#: its mirrors (same order as the tuples) — a mutable list exactly so
+#: those slots are writable; the object paths never read them.
+_SnapRect = List[Any]
 
 
 @dataclass
@@ -197,6 +202,14 @@ class Medium:
         #: A global epoch would invalidate the whole map on every
         #: crossing; this keeps snapshots in quiet regions alive.
         self._inval: Dict[GridCoord, int] = {}
+        #: Per-bucket change counters and the rect built from each
+        #: bucket at a given count.  Snapshot rebuilds reuse the rect
+        #: *object* for buckets that did not change — content-identical
+        #: either way, but the preserved identity lets the array
+        #: backend's kinetic gather cache recognise that a republished
+        #: snapshot left a sender's neighborhood untouched.
+        self._rect_stamp: Dict[GridCoord, int] = {}
+        self._rect_cache: Dict[GridCoord, Tuple[int, _SnapRect]] = {}
         self._near_cache_enabled = not _NEAR_CACHE_DISABLED
         #: ``(center cell, radius) -> (stamp, snapshot)`` where the
         #: snapshot lists the non-empty covering buckets in query order
@@ -214,6 +227,16 @@ class Medium:
         #: lists; empty lists are kept to avoid realloc churn).
         self._active_by_cell: Dict[GridCoord, List[_Transmission]] = {}
         self._rx_in_progress: Dict[int, List[_Reception]] = {}
+        #: Opt-in vectorized reception floor (``ECGRID_ARRAY_PHY=1``;
+        #: see :mod:`repro.phy.array_backend`).  ``None`` keeps every
+        #: path below byte-identical to the object kernel; the backend
+        #: also nulls this out itself if any registering radio cannot
+        #: be mirrored.
+        self._array: Optional[array_backend.ArrayPhyState] = (
+            array_backend.ArrayPhyState(self)
+            if array_backend.enabled()
+            else None
+        )
         self._loss_rng = sim.rng.stream("phy-loss")
         #: Optional fault-injection hook ``(tx_pos, receiver) -> bool``;
         #: True means the reception is lost (the receiver still pays RX
@@ -279,6 +302,10 @@ class Medium:
         for dx, dy in self._ring_offsets:
             key = (cx + dx, cy + dy)
             inval[key] = inval.get(key, 0) + 1
+        # Every caller passes exactly the bucket whose membership or
+        # partition changed, so this is the one site that retires its
+        # cached rect.
+        self._rect_stamp[cell] = self._rect_stamp.get(cell, 0) + 1
 
     def register(self, radio: Radio) -> None:
         cell = self.grid.cell_of(radio.position())
@@ -287,6 +314,8 @@ class Medium:
         # Snapshots partition candidates by base mode, so base-mode
         # flips must invalidate exactly like membership changes do.
         radio.on_base_mode_flip = self._on_base_mode_flip
+        if self._array is not None:
+            self._array.adopt(radio)
         self._epoch += 1
         self._invalidate_around(cell)
 
@@ -389,13 +418,25 @@ class Medium:
         idle_mode = RadioMode.IDLE
         sleep_mode = RadioMode.SLEEP
         snapshot: List[_SnapRect] = []
+        rect_stamp = self._rect_stamp
+        rect_cache = self._rect_cache
         for dx, dy in offsets:
             # Off-map cells simply have no bucket; no clipping needed.
-            bucket = buckets.get((cx + dx, cy + dy))
+            bcell = (cx + dx, cy + dy)
+            bucket = buckets.get(bcell)
             if not bucket:
                 continue
-            x0 = (cx + dx) * side
-            y0 = (cy + dy) * side
+            # Rect bounds depend only on the cell, contents only on the
+            # bucket's membership + base modes — both covered by the
+            # per-bucket stamp, so an unchanged bucket's rect is reused
+            # as the *same object* (shared across overlapping centers).
+            bstamp = rect_stamp.get(bcell, 0)
+            cached_rect = rect_cache.get(bcell)
+            if cached_rect is not None and cached_rect[0] == bstamp:
+                snapshot.append(cached_rect[1])
+                continue
+            x0 = bcell[0] * side
+            y0 = bcell[1] * side
             all_radios = tuple(bucket.values())
             awake = []
             sleepers = []
@@ -408,12 +449,17 @@ class Medium:
                 # OFF radios stay out of both partitions: neither the
                 # receiver loop nor the missed-asleep counter ever
                 # touches them (matching the plain scan's silent skip).
-            snapshot.append(
-                (
-                    x0, y0, x0 + side, y0 + side,
-                    all_radios, tuple(awake), tuple(sleepers), len(sleepers),
-                )
-            )
+            # Slots 8/9 memoize the awake/sleeper mirror-index arrays;
+            # the array backend fills them lazily on the first rebuild
+            # that actually straddles this bucket (a list, not a tuple,
+            # exactly so those slots stay writable).
+            rect = [
+                x0, y0, x0 + side, y0 + side,
+                all_radios, tuple(awake), tuple(sleepers), len(sleepers),
+                None, None,
+            ]
+            rect_cache[bcell] = (bstamp, rect)
+            snapshot.append(rect)
         cache[key] = (stamp, snapshot)
         return snapshot
 
@@ -444,7 +490,7 @@ class Medium:
         # Generic queries (RAS paging wakes *sleeping* radios) use the
         # full bucket tuple; the awake/sleeper partition is only for
         # the fused ``transmit`` receiver loop.
-        for x0, y0, x1, y1, radios, _awake, _sleepers, _count in snapshot:
+        for x0, y0, x1, y1, radios, _awake, _sleepers, _count, _ai, _si in snapshot:
             gx = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
             gy = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
             if gx * gx + gy * gy > skip2:
@@ -651,6 +697,8 @@ class Medium:
         identical to the plain loop below, which remains the cold-key /
         cache-disabled path.
         """
+        if self._array is not None:
+            return self._transmit_array(sender, payload, wire_bytes)
         config = self.config
         stats = self.stats
         duration = self.airtime(wire_bytes)
@@ -680,7 +728,10 @@ class Medium:
             skip2 = r2 * (1.0 + 1e-9)
             take2 = r2 * (1.0 - 1e-9)
             receptions_append = receptions.append
-            for x0, y0, x1, y1, _all, awake, sleepers, sleep_count in snapshot:
+            for (
+                x0, y0, x1, y1, _all, awake, sleepers, sleep_count,
+                _ai, _si,
+            ) in snapshot:
                 gx = x0 - px if px < x0 else (px - x1 if px > x1 else 0.0)
                 gy = y0 - py if py < y0 else (py - y1 if py > y1 else 0.0)
                 if gx * gx + gy * gy > skip2:
@@ -871,6 +922,77 @@ class Medium:
         )
         return duration
 
+    def _transmit_array(
+        self, sender: Radio, payload: object, wire_bytes: int
+    ) -> float:
+        """Array-backend twin of :meth:`transmit` (``ECGRID_ARRAY_PHY``).
+
+        Same frame lifecycle, but the receiver set is gathered with one
+        vectorized position/distance pass and the IDLE→RX settles are
+        batched (see :meth:`ArrayPhyState.begin_receptions`); protocol
+        side effects — depletions, check bookings — drop the batch back
+        to the object path in exact receiver order.
+        """
+        arr = self._array
+        config = self.config
+        stats = self.stats
+        duration = self.airtime(wire_bytes)
+        pos = sender.position()
+        sender.begin_tx()
+        now = self.sim.now
+        tx = _Transmission(sender, pos, now + duration)
+        stats.frames_sent += 1
+        stats.bytes_sent += wire_bytes
+        cell = self.grid.cell_of(pos)
+        timing = arr.timing
+        if timing:
+            t0 = perf_counter()
+        snapshot = (
+            self._near_snapshot(cell, config.range_m)
+            if self._near_cache_enabled
+            else None
+        )
+        if snapshot is not None:
+            receivers = arr.gather_cached(
+                sender, snapshot, pos, now, config.range_m, stats
+            )
+        else:
+            # Cold key / cache disabled: the plain scan yields the
+            # identical candidate order; the begin step re-applies the
+            # half-duplex check.
+            receivers = []
+            idle = RadioMode.IDLE
+            sleep_mode = RadioMode.SLEEP
+            append = receivers.append
+            for radio in self._scan_near(cell, pos, config.range_m):
+                if radio is sender:
+                    continue
+                if radio.base_mode is not idle or radio.transmitting:
+                    if radio.base_mode is sleep_mode:
+                        stats.frames_missed_asleep += 1
+                    continue
+                append(radio)
+        arr.begin_receptions(tx, receivers, pos, now, self)
+        if timing:
+            arr.profile_seconds += perf_counter() - t0
+            arr.profile_calls += 1
+        tx.index = len(self._active)
+        self._active.append(tx)
+        if self._tx_index_enabled:
+            tx.cell = cell
+            txs = self._active_by_cell.get(cell)
+            if txs is None:
+                txs = self._active_by_cell[cell] = []
+            tx.cell_index = len(txs)
+            txs.append(tx)
+        self.sim.after(
+            duration + config.propagation_delay_s,
+            self._finish,
+            tx,
+            payload,
+        )
+        return duration
+
     def _remove_active(self, tx: _Transmission) -> None:
         """O(1) swap-pop removal from the in-flight list and cell index."""
         active = self._active
@@ -886,6 +1008,8 @@ class Medium:
                 tail.cell_index = tx.cell_index
 
     def _finish(self, tx: _Transmission, payload: object) -> None:
+        if self._array is not None:
+            return self._finish_array(tx, payload)
         self._remove_active(tx)
         tx.sender.end_tx()
         stats = self.stats
@@ -940,6 +1064,67 @@ class Medium:
             # Half-duplex / mid-frame sleep: a receiver that started
             # transmitting or went to sleep during the frame loses it
             # (inlined ``can_receive``).
+            if radio.base_mode is not idle or radio.transmitting:
+                stats.frames_corrupted += 1
+                continue
+            stats.frames_delivered += 1
+            sink = radio.frame_sink
+            if sink is not None:
+                sink(payload, sender_id)
+
+    def _finish_array(self, tx: _Transmission, payload: object) -> None:
+        """Array-backend twin of :meth:`_finish`.
+
+        Single pass in exact object order.  Each RX→IDLE settle is
+        dispatched per radio: a provably side-effect-free one defers
+        into the mirror row (``dirty``); one that *could* deplete, needs
+        a check booked, or has a row ahead of ``now`` routes through
+        ``monitor.set_draw`` — which reconciles and applies the object
+        kernel's arithmetic — at exactly its receiver-order position, so
+        any simulator events it allocates land in sequence.
+        """
+        arr = self._array
+        self._remove_active(tx)
+        tx.sender.end_tx()
+        stats = self.stats
+        rx_in_progress = self._rx_in_progress
+        sender_id = tx.sender.node_id
+        idle = RadioMode.IDLE
+        rx_mode = RadioMode.RX
+        now = self.sim.now
+        rem = arr.rem
+        draw = arr.draw
+        last_t = arr.last_t
+        dirty = arr.dirty
+        safe = arr.safe
+        eps = _DEPLETION_EPS
+        for rec in tx.receptions:
+            radio = rec.receiver
+            count = radio.rx_count
+            if count > 0:
+                radio.rx_count = count - 1
+                if count == 1 and radio._effective is rx_mode:
+                    radio._effective = idle
+                    i = radio._arr_idx
+                    last = last_t[i]
+                    new_rem = rem[i] - draw[i] * (now - last)
+                    if new_rem <= eps or not safe[i] or last > now:
+                        radio.monitor.set_draw(radio._p_idle)
+                    else:
+                        rem[i] = new_rem
+                        last_t[i] = now
+                        draw[i] = radio._p_idle
+                        dirty[i] = True
+                    cb = radio.on_mode_change
+                    if cb is not None:
+                        cb(rx_mode, idle)
+            ongoing = rx_in_progress.get(radio.node_id)
+            if ongoing and rec in ongoing:
+                ongoing.remove(rec)
+            if rec.corrupted:
+                stats.frames_corrupted += 1
+                continue
+            # Half-duplex / mid-frame sleep (see :meth:`_finish`).
             if radio.base_mode is not idle or radio.transmitting:
                 stats.frames_corrupted += 1
                 continue

@@ -1,0 +1,125 @@
+"""Tier-2: the array PHY backend is semantics-free, across the matrix.
+
+``ECGRID_ARRAY_PHY=1`` vectorizes the reception floor; the backend's
+contract is stronger than "same metrics" — the batched arithmetic is
+bit-identical and every side-effectful settle falls back to the object
+path in sequence order, so the *dispatch trace and end-state digests*
+must match the object kernel exactly.  This matrix re-proves that per
+protocol, on clean and on faulted runs (crashes, partitions, page
+loss, battery drains — the churn that would expose a stale mirror),
+and pins one full figure export byte-for-byte against the golden file
+produced by the object kernel.
+
+Cells run in fresh subprocesses so each one controls the environment
+completely.  Run with ``pytest -m tier2``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy")
+
+SRC = str(Path(__file__).resolve().parent.parent.parent / "src")
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+SCRIPT = """
+import sys
+from repro.experiments.config import ExperimentConfig
+from repro.faults.plan import standard_fault_plan
+from repro.perf.trace import golden_run
+
+protocol = sys.argv[1]
+faulted = sys.argv[2] == "faulted"
+plan = None
+if faulted:
+    plan = standard_fault_plan(
+        0.5, sim_time_s=60.0, width_m=500.0, height_m=500.0,
+        n_hosts=24, initial_energy_j=40.0,
+    )
+cfg = ExperimentConfig(
+    protocol=protocol, n_hosts=24, width_m=500.0, height_m=500.0,
+    sim_time_s=60.0, n_flows=4, max_speed_mps=2.0,
+    initial_energy_j=40.0, seed=2, faults=plan,
+)
+trace, state, record = golden_run(cfg)
+print(trace, state, record["events_executed"])
+"""
+
+FIG5_SCRIPT = """
+from repro.experiments import figures
+from repro.experiments.export import figure_to_json
+from repro.experiments.sweep import SweepRunner
+
+fig = figures.figure(
+    "fig5", speed=1.0, scale=0.12, seed=1, seeds=1,
+    runner=SweepRunner(workers=0, cache=None),
+)
+print(figure_to_json(fig), end="")
+"""
+
+
+def clean_env(array_phy=None, extra=()):
+    """Environment with every ECGRID knob stripped, then set explicitly."""
+    env = {
+        k: v
+        for k, v in os.environ.items()
+        if not k.startswith("ECGRID_")
+    }
+    env["PYTHONPATH"] = SRC
+    if array_phy is not None:
+        env["ECGRID_ARRAY_PHY"] = array_phy
+    for key in extra:
+        env[key] = "1"
+    return env
+
+
+def run_cell(script, argv, env):
+    proc = subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+CELLS = [
+    (protocol, faulted)
+    for protocol in ("ecgrid", "grid", "gaf")
+    for faulted in ("clean", "faulted")
+]
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize(
+    "protocol,faulted", CELLS, ids=[f"{p}-{f}" for p, f in CELLS]
+)
+def test_array_backend_is_bit_for_bit(protocol, faulted):
+    argv = (protocol, faulted)
+    baseline = run_cell(SCRIPT, argv, clean_env())
+    vectored = run_cell(SCRIPT, argv, clean_env(array_phy="1"))
+    assert vectored == baseline
+
+
+@pytest.mark.tier2
+def test_array_kill_switch_restores_object_path():
+    argv = ("ecgrid", "faulted")
+    baseline = run_cell(SCRIPT, argv, clean_env())
+    killed = run_cell(
+        SCRIPT, argv, clean_env(array_phy="1", extra=("ECGRID_NO_ARRAY_PHY",))
+    )
+    assert killed == baseline
+
+
+@pytest.mark.tier2
+def test_fig5_export_byte_identical_with_array_backend():
+    """The pinned figure, regenerated through the vectorized kernel,
+    must match the golden file the object kernel produced — byte for
+    byte, including every float repr in every curve."""
+    golden = (DATA_DIR / "golden_fig5.json").read_text()
+    out = run_cell(FIG5_SCRIPT, (), clean_env(array_phy="1"))
+    assert out == golden

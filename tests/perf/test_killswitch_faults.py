@@ -47,13 +47,17 @@ SWITCHES = (
 )
 
 
-def faulted_digests(disabled=()):
+def faulted_digests(disabled=(), array_phy=False):
+    # Strip every ECGRID knob (including an ambient ECGRID_ARRAY_PHY)
+    # so each cell controls its environment completely.
     env = {
-        k: v for k, v in os.environ.items() if not k.startswith("ECGRID_NO_")
+        k: v for k, v in os.environ.items() if not k.startswith("ECGRID_")
     }
     env["PYTHONPATH"] = SRC
     for switch in disabled:
         env[switch] = "1"
+    if array_phy:
+        env["ECGRID_ARRAY_PHY"] = "1"
     proc = subprocess.run(
         [sys.executable, "-c", SCRIPT],
         env=env, capture_output=True, text=True, timeout=600,
@@ -77,3 +81,17 @@ def test_each_killswitch_is_bit_for_bit_under_faults(switch, baseline):
 @pytest.mark.tier2
 def test_all_killswitches_together_under_faults(baseline):
     assert faulted_digests(SWITCHES) == baseline
+
+
+@pytest.mark.tier2
+@pytest.mark.parametrize("switch", SWITCHES + ("ECGRID_NO_ARRAY_PHY",))
+def test_array_backend_with_each_killswitch_under_faults(switch, baseline):
+    """The opt-in array backend composes with every kill switch: any
+    combination still reproduces the faulted baseline bit-for-bit
+    (``ECGRID_NO_ARRAY_PHY`` is the backend's own kill switch)."""
+    assert faulted_digests((switch,), array_phy=True) == baseline
+
+
+@pytest.mark.tier2
+def test_array_backend_alone_under_faults(baseline):
+    assert faulted_digests(array_phy=True) == baseline

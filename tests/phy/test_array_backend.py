@@ -1,0 +1,211 @@
+"""The array backend is a pure performance structure.
+
+``ECGRID_ARRAY_PHY=1`` swaps the reception floor of the medium for a
+vectorized structure-of-arrays path; nothing protocol-visible may
+change.  These tier-1 tests pin the gating contract, the adoption /
+deactivation lifecycle, the vectorized position arithmetic, and —
+the core claim — bit-for-bit dispatch/state digest equality of a full
+scenario against the object kernel.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.des.core import Simulator
+from repro.energy.accounting import BatteryMonitor
+from repro.energy.battery import Battery
+from repro.energy.profile import PAPER_PROFILE
+from repro.geo.grid import GridMap
+from repro.geo.vector import Vec2
+from repro.mobility.waypoint import RandomWaypoint
+from repro.phy import array_backend
+from repro.phy.medium import Medium, MediumConfig
+from repro.phy.radio import Radio
+
+AREA = 500.0
+
+
+def build_world(monkeypatch, n=8, seed=3, static_last=False):
+    """A medium with the backend enabled and ``n`` registered radios."""
+    monkeypatch.setenv("ECGRID_ARRAY_PHY", "1")
+    monkeypatch.delenv("ECGRID_NO_ARRAY_PHY", raising=False)
+    sim = Simulator(seed=seed)
+    grid = GridMap(AREA, AREA, 100.0)
+    medium = Medium(sim, grid, MediumConfig())
+    rng = random.Random(seed)
+    radios = []
+    for i in range(n):
+        battery = Battery(40.0)
+        mon = BatteryMonitor(sim, battery, max_draw_w=1.433)
+        if static_last and i == n - 1:
+            p = Vec2(rng.uniform(0, AREA), rng.uniform(0, AREA))
+            r = Radio(i, lambda p=p: p, PAPER_PROFILE, mon)
+        else:
+            mob = RandomWaypoint(
+                random.Random(seed * 1000 + i), AREA, AREA,
+                min_speed=0.5, max_speed=5.0,
+            )
+            r = Radio(
+                i, lambda m=mob: m.position(sim.now), PAPER_PROFILE, mon,
+                mobility=mob,
+            )
+        medium.register(r)
+        radios.append(r)
+    return sim, medium, radios
+
+
+# ----------------------------------------------------------------------
+# Gating
+# ----------------------------------------------------------------------
+def test_enabled_defaults_off(monkeypatch):
+    monkeypatch.delenv("ECGRID_ARRAY_PHY", raising=False)
+    monkeypatch.delenv("ECGRID_NO_ARRAY_PHY", raising=False)
+    assert not array_backend.enabled()
+
+
+def test_enabled_opt_in_and_kill_switch(monkeypatch):
+    monkeypatch.delenv("ECGRID_NO_ARRAY_PHY", raising=False)
+    monkeypatch.setenv("ECGRID_ARRAY_PHY", "1")
+    assert array_backend.enabled()
+    monkeypatch.setenv("ECGRID_ARRAY_PHY", "0")
+    assert not array_backend.enabled()
+    monkeypatch.setenv("ECGRID_ARRAY_PHY", "1")
+    monkeypatch.setenv("ECGRID_NO_ARRAY_PHY", "1")
+    assert not array_backend.enabled()
+
+
+def test_medium_has_no_backend_by_default(monkeypatch):
+    monkeypatch.delenv("ECGRID_ARRAY_PHY", raising=False)
+    sim = Simulator(seed=1)
+    medium = Medium(sim, GridMap(AREA, AREA, 100.0), MediumConfig())
+    assert medium._array is None
+
+
+def test_medium_attaches_backend_when_enabled(monkeypatch):
+    monkeypatch.setenv("ECGRID_ARRAY_PHY", "1")
+    monkeypatch.delenv("ECGRID_NO_ARRAY_PHY", raising=False)
+    sim = Simulator(seed=1)
+    medium = Medium(sim, GridMap(AREA, AREA, 100.0), MediumConfig())
+    assert medium._array is not None
+
+
+# ----------------------------------------------------------------------
+# Adoption / deactivation lifecycle
+# ----------------------------------------------------------------------
+def test_adoption_links_every_battery(monkeypatch):
+    _, medium, radios = build_world(monkeypatch, n=8)
+    arr = medium._array
+    assert arr is not None
+    assert arr.n == len(radios)
+    for r in radios:
+        battery = r.monitor.battery
+        assert battery._arr is arr
+        assert arr.radios[r._arr_idx] is r
+        assert arr.rem[battery._idx] == battery._remaining
+
+
+def test_unadoptable_radio_deactivates_backend(monkeypatch):
+    _, medium, radios = build_world(monkeypatch, n=6, static_last=True)
+    # The mobility-less radio cannot be mirrored: the whole backend
+    # must stand down and unlink every battery it had adopted.
+    assert medium._array is None
+    for r in radios:
+        assert r.monitor.battery._arr is None
+        assert r.monitor.battery._idx == -1
+
+
+def test_deactivation_pulls_dirty_rows(monkeypatch):
+    sim, medium, radios = build_world(monkeypatch, n=4)
+    arr = medium._array
+    battery = radios[0].monitor.battery
+    i = battery._idx
+    # Make the array row the truth: ahead of the stale object fields.
+    arr.rem[i] = 17.5
+    arr.last_t[i] = 3.0
+    arr.dirty[i] = True
+    arr.deactivate()
+    assert battery._arr is None
+    assert battery._remaining == 17.5
+    assert battery._last_t == 3.0
+    assert isinstance(battery._remaining, float)  # not np.float64
+
+
+# ----------------------------------------------------------------------
+# Vectorized positions
+# ----------------------------------------------------------------------
+def test_positions_at_matches_object_path(monkeypatch):
+    sim, medium, radios = build_world(monkeypatch, n=8, seed=11)
+    arr = medium._array
+    idx = arr.index_array(radios)
+    for now in (0.0, 1.7, 5.25, 5.25, 42.0, 123.456):
+        sim._now = max(sim.now, now)
+        x, y = arr.positions_at(idx, now)
+        for k, r in enumerate(radios):
+            p = r.mobility.position(now)
+            assert x[k] == p.x
+            assert y[k] == p.y
+
+
+# ----------------------------------------------------------------------
+# Whole-scenario equivalence (the tier-2 matrix re-proves this under
+# faults and across protocols in subprocesses; this is the fast pin).
+# ----------------------------------------------------------------------
+def test_paired_run_digests_identical(monkeypatch):
+    from repro.experiments.config import ExperimentConfig
+    from repro.perf.trace import golden_run
+
+    def run(flag):
+        if flag:
+            monkeypatch.setenv("ECGRID_ARRAY_PHY", "1")
+        else:
+            monkeypatch.delenv("ECGRID_ARRAY_PHY", raising=False)
+        monkeypatch.delenv("ECGRID_NO_ARRAY_PHY", raising=False)
+        cfg = ExperimentConfig(
+            protocol="ecgrid", n_hosts=16, width_m=400.0, height_m=400.0,
+            sim_time_s=30.0, n_flows=2, max_speed_mps=2.0,
+            initial_energy_j=30.0, seed=5,
+        )
+        return golden_run(cfg)
+
+    trace_off, state_off, record_off = run(False)
+    trace_on, state_on, record_on = run(True)
+    assert trace_on == trace_off
+    assert state_on == state_off
+    assert record_on == record_off
+
+
+# ----------------------------------------------------------------------
+# The take-all splice of the gather-cache rescue path (pure function)
+# ----------------------------------------------------------------------
+def test_splice_take_all_rewrites_one_segment():
+    # receivers [a b | c d e | f], segments at snapshot positions
+    # 0 (take-all), 3 (straddle), 5 (take-all, 2 sleepers missed).
+    receivers = ["a", "b", "c", "d", "e", "f"]
+    segments = {0: (-1, 0, 2, 1), 3: (1, 2, 3, 0), 5: (-1, 5, 1, 2)}
+    rect = [0, 0, 1, 1, (), ("x", "y", "z"), (), 4, None, None]
+    out, missed, segs = array_backend._splice_take_all(
+        receivers, 3, segments, [(0, rect)]
+    )
+    assert out == ["x", "y", "z", "c", "d", "e", "f"]
+    assert missed == 3 + (4 - 1)
+    # Later segments shifted by the length delta; kinds/misses kept.
+    assert segs == {0: (-1, 0, 3, 4), 3: (1, 3, 3, 0), 5: (-1, 6, 1, 2)}
+    # Inputs not mutated (older cache entries may alias them).
+    assert receivers == ["a", "b", "c", "d", "e", "f"]
+    assert segments[0] == (-1, 0, 2, 1)
+
+
+def test_splice_take_all_handles_emptied_and_multiple():
+    receivers = ["a", "b", "c"]
+    segments = {1: (-1, 0, 2, 0), 4: (-1, 2, 1, 1)}
+    emptied = [0, 0, 1, 1, (), (), (), 2, None, None]
+    grown = [0, 0, 1, 1, (), ("p", "q"), (), 0, None, None]
+    out, missed, segs = array_backend._splice_take_all(
+        receivers, 1, segments, [(1, emptied), (4, grown)]
+    )
+    assert out == ["p", "q"]
+    assert missed == 1 + (2 - 0) + (0 - 1)
+    assert segs == {1: (-1, 0, 0, 2), 4: (-1, 0, 2, 0)}

@@ -60,7 +60,7 @@ def assert_partition_consistent(medium, cell):
     snap = medium._near_snapshot(cell, medium.config.range_m)
     if snap is None:
         return
-    for _x0, _y0, _x1, _y1, all_radios, awake, sleepers, count in snap:
+    for _x0, _y0, _x1, _y1, all_radios, awake, sleepers, count, _ai, _si in snap:
         assert list(awake) == [
             r for r in all_radios if r.base_mode is RadioMode.IDLE
         ]
