@@ -137,6 +137,12 @@ def main(argv=None) -> int:
         help="also collect a cProfile trace and dump pstats to FILE "
         "(implies --profile)",
     )
+    run_p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the plane into N per-process regions (statistical "
+        "equivalence, not bit-exact; incompatible with --trace/--profile"
+        "/--faults; defaults to ECGRID_SHARDS, see docs/performance.md)",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -166,6 +172,13 @@ def main(argv=None) -> int:
         help="instead of the suite, measure tracing overhead on one "
         "pinned scenario (default scale-500, or the first --scenario); "
         "exit nonzero if it exceeds the budget",
+    )
+    bench_p.add_argument(
+        "--shards", metavar="COUNTS", default=None,
+        help="comma-separated shard counts (e.g. '1,2,4'): run the "
+        "suite's scenarios as an ABBA-interleaved shard-count sweep "
+        "(records keyed '<scenario>@s<count>') instead of the plain "
+        "kernel benchmark",
     )
     bench_p.add_argument(
         "--compare", metavar="LABEL", default=None,
@@ -311,7 +324,17 @@ def main(argv=None) -> int:
                 auditors = standard_auditors()
                 for auditor in auditors:
                     tracer.subscribe(auditor)
-        result = run_experiment(cfg, instruments=instruments, tracer=tracer)
+        if args.shards is not None and args.shards > 1 and (
+            instruments or tracer is not None or faults is not None
+        ):
+            print(
+                "error: --shards is statistical and cannot honor "
+                "--trace/--audit/--profile/--faults; drop one or the other"
+            )
+            return 2
+        result = run_experiment(
+            cfg, instruments=instruments, tracer=tracer, shards=args.shards
+        )
         print(result.summary())
         if tracer is not None and args.trace:
             tracer.export_jsonl(args.trace)
@@ -346,7 +369,15 @@ def main(argv=None) -> int:
         suite_scenarios, suite_path = bench_mod.SUITES[args.suite]
         names = args.scenario or sorted(suite_scenarios)
         output = args.output or suite_path
-        record = bench_mod.make_record(scenarios=names, label=args.label)
+        if args.shards:
+            counts = tuple(
+                int(c) for c in args.shards.split(",") if c.strip()
+            )
+            record = bench_mod.make_shard_record(
+                scenarios=names, shard_counts=counts, label=args.label
+            )
+        else:
+            record = bench_mod.make_record(scenarios=names, label=args.label)
         print(bench_mod.format_record(record))
         if not args.no_append:
             bench_mod.append_record(record, output)

@@ -55,6 +55,12 @@ class Timer:
         self.fn()
 
 
+#: Public name for the restartable one-shot timer.  Region-owned wheels
+#: (sharded execution) address it under this name; ``Timer`` stays as
+#: the short internal spelling.
+RestartableTimer = Timer
+
+
 class PeriodicTimer:
     """A timer that re-fires every ``period`` seconds until stopped.
 

@@ -162,51 +162,19 @@ class ExperimentResult:
         return "-" if t is None else f"{t:.0f}s"
 
 
-def run_experiment(
-    config: ExperimentConfig, instruments=(), tracer=None
+def result_from_network(
+    network: Network,
+    config: ExperimentConfig,
+    wall_time_s: float,
+    recovery: Optional[Dict[str, float]] = None,
 ) -> ExperimentResult:
-    """Execute one full scenario and reduce it to a result record.
+    """Reduce a finished network to the standard result record.
 
-    ``instruments`` are attached to the event loop for the run (see
-    :meth:`Network.run`); profiling a run changes its wall time but
-    never its dispatch order or metrics.
-
-    ``tracer`` (a :class:`repro.obs.trace.Tracer`) is attached to the
-    network before the run; protocol/PHY/MAC events stream into it
-    without perturbing the schedule.  If its ``sim`` category is
-    enabled it additionally rides the event loop as an instrument
-    (per-event dispatch timing; forces the instrumented loop).
-    """
-    network = build_network(config)
-    if tracer is not None:
-        network.attach_tracer(tracer)
-        if tracer.sim:
-            instruments = list(instruments) + [tracer]
-    checker = None
-    if network.fault_injector is not None:
-        # Invariant clean-sample times feed the recovery metrics; the
-        # checker only reads state, never perturbs the run.
-        from repro.experiments.validate import InvariantChecker
-
-        checker = InvariantChecker(
-            network, interval_s=config.sample_interval_s
-        )
-    t0 = time.perf_counter()
-    network.run(until=config.sim_time_s, instruments=instruments)
-    wall = time.perf_counter() - t0
-
+    Shared by :func:`run_experiment` and the sharded runner's 1-shard
+    path (:mod:`repro.shard.runner`), so both produce byte-identical
+    records from the same end state."""
     log = network.packet_log
     med = network.medium.stats
-    recovery: Dict[str, float] = {}
-    if network.fault_injector is not None:
-        from repro.metrics.recovery import recovery_summary
-
-        recovery = recovery_summary(
-            network.fault_injector.plan,
-            log,
-            config.sim_time_s,
-            checker.report if checker is not None else None,
-        )
     return ExperimentResult(
         config=config,
         alive_fraction=network.sampler.alive_fraction,
@@ -236,7 +204,77 @@ def run_experiment(
         },
         dropped=log.dropped_count,
         drop_reasons=log.drop_reasons(),
-        recovery=recovery,
+        recovery=recovery or {},
         events_executed=network.sim.events_executed,
-        wall_time_s=wall,
+        wall_time_s=wall_time_s,
     )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    instruments=(),
+    tracer=None,
+    shards: Optional[int] = None,
+) -> ExperimentResult:
+    """Execute one full scenario and reduce it to a result record.
+
+    ``instruments`` are attached to the event loop for the run (see
+    :meth:`Network.run`); profiling a run changes its wall time but
+    never its dispatch order or metrics.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) is attached to the
+    network before the run; protocol/PHY/MAC events stream into it
+    without perturbing the schedule.  If its ``sim`` category is
+    enabled it additionally rides the event loop as an instrument
+    (per-event dispatch timing; forces the instrumented loop).
+
+    ``shards`` (or, when None, the ``ECGRID_SHARDS`` environment
+    variable — see :func:`repro.shard.runner.shards_from_env`) routes
+    the run through the space-parallel sharded runner.  Sharded
+    results are statistically, not bitwise, equivalent; runs that need
+    exact dispatch (tracer, instruments, fault plans) always take the
+    single-kernel path below.
+    """
+    if shards is None:
+        from repro.shard.runner import shards_from_env
+
+        shards = shards_from_env()
+    if (
+        shards is not None
+        and shards > 1
+        and tracer is None
+        and not instruments
+        and config.faults is None
+    ):
+        from repro.shard.runner import run_sharded
+
+        return run_sharded(config, shards)
+    network = build_network(config)
+    if tracer is not None:
+        network.attach_tracer(tracer)
+        if tracer.sim:
+            instruments = list(instruments) + [tracer]
+    checker = None
+    if network.fault_injector is not None:
+        # Invariant clean-sample times feed the recovery metrics; the
+        # checker only reads state, never perturbs the run.
+        from repro.experiments.validate import InvariantChecker
+
+        checker = InvariantChecker(
+            network, interval_s=config.sample_interval_s
+        )
+    t0 = time.perf_counter()
+    network.run(until=config.sim_time_s, instruments=instruments)
+    wall = time.perf_counter() - t0
+
+    recovery: Dict[str, float] = {}
+    if network.fault_injector is not None:
+        from repro.metrics.recovery import recovery_summary
+
+        recovery = recovery_summary(
+            network.fault_injector.plan,
+            network.packet_log,
+            config.sim_time_s,
+            checker.report if checker is not None else None,
+        )
+    return result_from_network(network, config, wall, recovery)

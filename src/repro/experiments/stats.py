@@ -38,22 +38,31 @@ def mean_series(series_list: Sequence[Series]) -> Series:
     if resampled is None:
         return []
     grid, cols = resampled
-    n = len(cols)
-    return [(x, sum(c[i] for c in cols) / n) for i, x in enumerate(grid)]
+    out: Series = []
+    for i, x in enumerate(grid):
+        vals = [c[i] for c in cols if c[i] is not None]
+        out.append((x, sum(vals) / len(vals)))
+    return out
 
 
 def stderr_series(series_list: Sequence[Series]) -> Series:
-    """Pointwise standard error on the union x-grid."""
+    """Pointwise standard error on the union x-grid, over the
+    replicates defined at each x (0 where fewer than two have
+    started — carry-forward does not extend before a series' first
+    sample; see :func:`repro.experiments.sweep.resample_union`)."""
     if len(series_list) < 2:
         return [(x, 0.0) for x, _ in (series_list[0] if series_list else [])]
     resampled = resample_union(series_list)
     if resampled is None:
         return []
     grid, cols = resampled
-    n = len(cols)
     out: Series = []
     for i, x in enumerate(grid):
-        vals = [c[i] for c in cols]
+        vals = [c[i] for c in cols if c[i] is not None]
+        n = len(vals)
+        if n < 2:
+            out.append((x, 0.0))
+            continue
         mean = sum(vals) / n
         var = sum((v - mean) ** 2 for v in vals) / (n - 1)
         out.append((x, math.sqrt(var / n)))

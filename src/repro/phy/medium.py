@@ -116,6 +116,19 @@ class _Transmission:
 #: build time (OFF radios appear only in ``all_radios``); every base
 #: mode flip invalidates the covering snapshots (via the radio's
 #: ``on_base_mode_flip`` hook), so the partition is never stale.
+class _ForeignSender:
+    """Stand-in ``_Transmission.sender`` for frames injected from a
+    neighboring region (sharded runs): identical to no local radio, so
+    carrier sense's ``tx.sender is radio`` self-test never matches, and
+    never charged or ``end_tx``-ed — the owning region pays the TX
+    energy."""
+
+    __slots__ = ()
+
+
+_FOREIGN_SENDER = _ForeignSender()
+
+
 #: A snapshot bucket: rect bounds, radio partition, and two trailing
 #: slots the array backend lazily fills with numpy index arrays into
 #: its mirrors (same order as the tuples) — a mutable list exactly so
@@ -135,6 +148,11 @@ class MediumStats:
     #: ``frames_corrupted``).
     frames_fault_dropped: int = 0
     bytes_sent: int = 0
+    #: Transmissions injected by a neighboring region (sharded runs):
+    #: the *same physical frames* counted in the owner's ``frames_sent``,
+    #: replayed here for edge-zone reception and carrier sense.  Kept
+    #: out of ``frames_sent`` so summing shard stats never double-counts.
+    frames_foreign: int = 0
 
 
 class Medium:
@@ -244,6 +262,15 @@ class Medium:
         #: Installed by :class:`repro.faults.inject.FaultInjector`.
         self.fault_hook: Optional[
             Callable[[Vec2, Radio], bool]
+        ] = None
+        #: Optional boundary hook installed by a sharded-run
+        #: :class:`~repro.shard.region.Region`: called once per local
+        #: transmission with ``(now, pos, payload, wire_bytes,
+        #: sender_id)`` so frames near a region edge can be shipped to
+        #: the neighboring regions.  ``None`` (the default) keeps every
+        #: path byte-identical to the unsharded kernel.
+        self.boundary_tap: Optional[
+            Callable[[float, Vec2, object, int, int], None]
         ] = None
 
     def _rings_for(self, radius: float) -> int:
@@ -708,6 +735,9 @@ class Medium:
         tx = _Transmission(sender, pos, now + duration)
         stats.frames_sent += 1
         stats.bytes_sent += wire_bytes
+        tap = self.boundary_tap
+        if tap is not None:
+            tap(now, pos, payload, wire_bytes, sender.node_id)
 
         unit_disk = config.loss_model == "unit_disk"
         model_collisions = config.model_collisions
@@ -943,6 +973,9 @@ class Medium:
         tx = _Transmission(sender, pos, now + duration)
         stats.frames_sent += 1
         stats.bytes_sent += wire_bytes
+        tap = self.boundary_tap
+        if tap is not None:
+            tap(now, pos, payload, wire_bytes, sender.node_id)
         cell = self.grid.cell_of(pos)
         timing = arr.timing
         if timing:
@@ -1064,6 +1097,109 @@ class Medium:
             # Half-duplex / mid-frame sleep: a receiver that started
             # transmitting or went to sleep during the frame loses it
             # (inlined ``can_receive``).
+            if radio.base_mode is not idle or radio.transmitting:
+                stats.frames_corrupted += 1
+                continue
+            stats.frames_delivered += 1
+            sink = radio.frame_sink
+            if sink is not None:
+                sink(payload, sender_id)
+
+    # ------------------------------------------------------------------
+    # Cross-region injection (sharded runs)
+    # ------------------------------------------------------------------
+    def inject_foreign(
+        self, pos: Vec2, payload: object, wire_bytes: int, sender_id: int
+    ) -> float:
+        """Replay a transmission that physically started in a
+        neighboring region.  Returns its airtime.
+
+        The frame occupies this region's channel (carrier sense,
+        collisions, overhearing RX energy) and delivers to local
+        receivers exactly like :meth:`transmit`, with two differences:
+        there is no local sender to charge or half-duplex (the owning
+        region accounted the TX side when it transmitted the original),
+        and the sender's dormant local replica — same ``node_id`` — is
+        skipped as a receiver.  Cold-path only: boundary frames are rare
+        relative to local traffic, and the cacheless scan keeps this
+        code independent of the snapshot partition's sender assumptions.
+        """
+        config = self.config
+        stats = self.stats
+        duration = self.airtime(wire_bytes)
+        now = self.sim.now
+        tx = _Transmission(_FOREIGN_SENDER, pos, now + duration)
+        stats.frames_foreign += 1
+        unit_disk = config.loss_model == "unit_disk"
+        model_collisions = config.model_collisions
+        rx_in_progress = self._rx_in_progress
+        fault_hook = self.fault_hook
+        idle = RadioMode.IDLE
+        cell = self.grid.cell_of(pos)
+        for radio in self._scan_near(cell, pos, config.range_m):
+            if radio.node_id == sender_id:
+                continue
+            if radio.base_mode is not idle or radio.transmitting:
+                if radio.base_mode is RadioMode.SLEEP:
+                    stats.frames_missed_asleep += 1
+                continue
+            rec = _Reception(radio)
+            if fault_hook is not None and fault_hook(pos, radio):
+                rec.corrupted = True
+                stats.frames_fault_dropped += 1
+            if not unit_disk:
+                p = config.reception_probability(pos.dist(radio.position()))
+                if p < 1.0 and self._loss_rng.random() >= p:
+                    rec.corrupted = True
+            nid = radio.node_id
+            ongoing = rx_in_progress.get(nid)
+            if ongoing is None:
+                ongoing = rx_in_progress[nid] = []
+            if ongoing and model_collisions:
+                rec.corrupted = True
+                for other in ongoing:
+                    other.corrupted = True
+            ongoing.append(rec)
+            radio.begin_rx()
+            tx.receptions.append(rec)
+        tx.index = len(self._active)
+        self._active.append(tx)
+        if self._tx_index_enabled:
+            tx.cell = cell
+            txs = self._active_by_cell.get(cell)
+            if txs is None:
+                txs = self._active_by_cell[cell] = []
+            tx.cell_index = len(txs)
+            txs.append(tx)
+        self.sim.after(
+            duration + config.propagation_delay_s,
+            self._finish_foreign,
+            tx,
+            payload,
+            sender_id,
+        )
+        return duration
+
+    def _finish_foreign(
+        self, tx: _Transmission, payload: object, sender_id: int
+    ) -> None:
+        """Completion twin of :meth:`_finish` for injected frames: no
+        ``end_tx`` (the sender lives elsewhere), receiver teardown via
+        the public ``end_rx`` (which routes the array mirror correctly),
+        same corruption/delivery accounting."""
+        self._remove_active(tx)
+        stats = self.stats
+        rx_in_progress = self._rx_in_progress
+        idle = RadioMode.IDLE
+        for rec in tx.receptions:
+            radio = rec.receiver
+            radio.end_rx()
+            ongoing = rx_in_progress.get(radio.node_id)
+            if ongoing and rec in ongoing:
+                ongoing.remove(rec)
+            if rec.corrupted:
+                stats.frames_corrupted += 1
+                continue
             if radio.base_mode is not idle or radio.transmitting:
                 stats.frames_corrupted += 1
                 continue

@@ -75,7 +75,10 @@ class EventBroker:
 
     ``ring`` bounds each job's replay history; evictions are counted in
     :attr:`evicted` (the stream itself is unbounded for connected
-    subscribers — only late-join replay is ring-limited).
+    subscribers — only late-join replay is ring-limited).  A replay that
+    lost frames to eviction is prefixed with a synthetic ``dropped``
+    frame carrying the evicted count, so late subscribers can tell a
+    truncated history from a complete one.
     """
 
     def __init__(self, ring: int = 4096) -> None:
@@ -157,9 +160,11 @@ class EventBroker:
     def subscribe(self, job_id: str) -> Tuple[List[Frame], Optional[asyncio.Queue]]:
         """The replayable history plus a live queue (``None`` if the
         stream is already closed).  The queue yields frames until the
-        ``None`` sentinel."""
+        ``None`` sentinel.  If the ring evicted frames before this
+        subscriber attached, the backlog leads with a ``dropped`` frame
+        announcing the gap."""
         with self._lock:
-            backlog = list(self._history.get(job_id, ()))
+            backlog = self._backlog(job_id)
             if job_id in self._closed:
                 return backlog, None
             queue: asyncio.Queue = asyncio.Queue()
@@ -174,7 +179,25 @@ class EventBroker:
 
     def history(self, job_id: str) -> List[Frame]:
         with self._lock:
-            return list(self._history.get(job_id, ()))
+            return self._backlog(job_id)
+
+    def _backlog(self, job_id: str) -> List[Frame]:
+        """Replayable frames (caller holds the lock): the ring contents,
+        preceded by a synthetic ``dropped`` frame when eviction has made
+        the replay incomplete.  The marker has no id — it is not part of
+        the job's sequence and Last-Event-ID resume must not land on it."""
+        backlog: List[Frame] = list(self._history.get(job_id, ()))
+        dropped = self.evicted.get(job_id, 0)
+        if dropped:
+            backlog.insert(
+                0,
+                (
+                    "dropped",
+                    {"job_id": job_id, "dropped": dropped, "ring": self.ring},
+                    None,
+                ),
+            )
+        return backlog
 
 
 class TraceRelay:

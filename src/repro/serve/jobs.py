@@ -288,16 +288,15 @@ class JobTable:
         except JobCancelled:
             self._finalize(job, "cancelled")
         except Exception as exc:  # failed jobs report, never crash a thread
-            job.error = f"{type(exc).__name__}: {exc}"
-            self._finalize(job, "failed")
+            self._finalize(job, "failed", error=f"{type(exc).__name__}: {exc}")
         else:
-            if job.cancel.is_set():
-                # A lone run can't stop mid-simulation; honour the
-                # cancel by discarding what it computed.
-                self._finalize(job, "cancelled")
-            else:
-                job.result = result
-                self._finalize(job, "done")
+            # A lone run can't stop mid-simulation; a cancel that landed
+            # while it computed is honoured inside _finalize, under the
+            # same lock that decides the terminal state — checking
+            # job.cancel here and finalizing afterwards would leave a
+            # window where cancel() lands between the check and the
+            # state write and the job still reports ``done``.
+            self._finalize(job, "done", result=result)
 
     def _execute_run(self, job: Job) -> Any:
         tracer = None
@@ -364,6 +363,13 @@ class JobTable:
         with self._lock:
             if job.state != "queued":
                 return False
+            if job.cancel.is_set():
+                # cancel() already claimed this queued job; its
+                # _finalize("cancelled") may still be waiting on this
+                # lock.  Starting now would run work the caller was told
+                # is cancelled and publish a stray "running" frame after
+                # the stream's "end".
+                return False
             job.state = state
             job.started_s = time.time()
         self.broker.publish(
@@ -371,11 +377,33 @@ class JobTable:
         )
         return True
 
-    def _finalize(self, job: Job, state: str) -> None:
+    def _finalize(
+        self,
+        job: Job,
+        state: str,
+        result: Any = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Move ``job`` to a terminal state, first-writer-wins.
+
+        The terminal check, the cancel-overrides-done resolution, and
+        the result/error attachment all happen under one lock hold: a
+        losing writer changes nothing (not even ``error``), and a
+        ``done`` that raced a cancel() lands as ``cancelled`` with the
+        result discarded.  Idempotent — a second call for an already
+        terminal job returns without publishing anything.
+        """
         with self._lock:
             if job.state in TERMINAL_STATES:
                 return
+            if state == "done" and job.cancel.is_set():
+                state = "cancelled"
+                result = None
             job.state = state
+            if state == "done":
+                job.result = result
+            elif state == "failed":
+                job.error = error
             job.finished_s = time.time()
             if self._inflight.get(job.key) == job.job_id:
                 del self._inflight[job.key]

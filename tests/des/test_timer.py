@@ -3,7 +3,7 @@
 import pytest
 
 from repro.des.core import Simulator
-from repro.des.timer import PeriodicTimer, Timer
+from repro.des.timer import PeriodicTimer, RestartableTimer, Timer
 
 
 def test_timer_fires_once_after_delay():
@@ -70,6 +70,70 @@ def test_timer_can_rearm_from_callback():
     t.start(1.0)
     sim.run()
     assert fired == [1.0, 2.0, 3.0]
+
+
+def test_restartable_timer_is_the_timer():
+    assert RestartableTimer is Timer
+
+
+def test_timer_cancel_after_fire_is_noop_and_rearmable():
+    # cancel() on an already-fired timer must not touch the dead
+    # handle, and the timer must re-arm cleanly afterwards.
+    sim = Simulator()
+    fired = []
+    t = RestartableTimer(sim, lambda: fired.append(sim.now))
+    t.start(1.0)
+    sim.run()
+    assert fired == [1.0]
+    assert not t.armed
+    t.cancel()  # after fire: nothing pending, nothing to corrupt
+    assert not t.armed
+    t.start(2.0)
+    sim.run()
+    assert fired == [1.0, 3.0]
+
+
+def test_timer_double_start_rearms_exactly_once():
+    # Two start() calls in a row leave exactly one pending firing (the
+    # second), both when the second is earlier and when it is later.
+    sim = Simulator()
+    fired = []
+    t = RestartableTimer(sim, lambda: fired.append(sim.now))
+    t.start(1.0)
+    t.start(4.0)  # later: the 1.0 arming must die
+    assert t.expiry == 4.0
+    sim.run(until=10.0)
+    assert fired == [4.0]
+
+    t.start(5.0)
+    t.start(2.0)  # earlier: the 5.0 arming must die
+    assert t.expiry == 12.0
+    sim.run()
+    assert fired == [4.0, 12.0]
+
+
+def test_timer_mass_cancel_triggers_wheel_compaction():
+    # A fleet of far-future restartable timers that all get cancelled
+    # (every node re-arming its HELLO timeout, then dying) must be
+    # swept out of the wheel once cancelled entries dominate — each
+    # region owns a wheel, so leaked entries would multiply per shard.
+    sim = Simulator(seed=1)
+    if not sim._wheel_enabled:
+        pytest.skip("wheel disabled via ECGRID_NO_TIMER_WHEEL")
+    threshold = Simulator.WHEEL_COMPACT_THRESHOLD
+    timers = [
+        RestartableTimer(sim, lambda: None) for _ in range(threshold - 1)
+    ]
+    for i, t in enumerate(timers):
+        t.start(1000.0 + (i % 89))
+    for t in timers:
+        t.cancel()
+        assert not t.armed
+    survivor = RestartableTimer(sim, lambda: None)
+    survivor.start(2000.0)  # reaches the threshold and trips the sweep
+    assert sim._wheel_compactions >= 1
+    assert sim._wheel_size == 1
+    assert survivor.armed
 
 
 def test_periodic_timer_fires_every_period():

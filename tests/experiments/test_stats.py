@@ -43,10 +43,42 @@ def test_mean_series_disjoint_grids_not_empty():
     b = [(5.0, 1.0), (15.0, 0.0)]
     got = mean_series([a, b])
     assert [x for x, _ in got] == [0.0, 5.0, 10.0, 15.0]
-    # Before b's first sample its first value extends backward.
+    # Before b's first sample the mean runs over a alone.
     assert got[0] == (0.0, 1.0)
     assert got[2] == (10.0, 0.5)
     assert got[3] == (15.0, 0.0)
+
+
+def test_mean_series_leading_edge_excludes_unstarted():
+    # Regression: before a series' first sample, its first value used
+    # to back-fill the union grid, biasing the mean on the leading
+    # edge.  Carry-forward only runs forward; an unstarted replicate
+    # contributes nothing.
+    a = [(0.0, 0.0), (10.0, 0.0)]
+    b = [(5.0, 4.0)]
+    got = mean_series([a, b])
+    assert got == [(0.0, 0.0), (5.0, 2.0), (10.0, 2.0)]
+
+
+def test_stderr_series_leading_edge_is_zero():
+    # Only one replicate is defined before b starts: no spread there.
+    a = [(0.0, 0.0), (10.0, 0.0)]
+    b = [(5.0, 4.0)]
+    got = stderr_series([a, b])
+    assert got[0] == (0.0, 0.0)
+    assert got[1][1] > 0.0
+
+
+def test_sweep_reducers_share_leading_edge_semantics():
+    # figures.py aggregates through the sweep module's copies of the
+    # reducers; pin them to the same forward-only carry-forward.
+    from repro.experiments.sweep import mean_series as sweep_mean
+    from repro.experiments.sweep import stddev_series as sweep_stddev
+
+    a = [(0.0, 0.0), (10.0, 0.0)]
+    b = [(5.0, 4.0)]
+    assert sweep_mean([a, b]) == [(0.0, 0.0), (5.0, 2.0), (10.0, 2.0)]
+    assert sweep_stddev([a, b])[0] == (0.0, 0.0)
 
 
 def test_mean_series_empty():

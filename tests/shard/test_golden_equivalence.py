@@ -1,0 +1,95 @@
+"""1-shard mode must be bit-for-bit the plain kernel.
+
+The windowed Region loop (calendar sliced at every sync boundary, the
+bus drained, barrier samples taken) must dispatch the *identical*
+event sequence as one ``Network.run`` call — the heap pops the same
+total order on (time, priority, seq) however the horizon is sliced,
+and with one shard no taps are installed and no ghosts exist.  These
+tests pin that against the same golden scenarios as the kernel
+harness, via live A/B digests (the pinned golden file is covered by
+``tests/perf/test_golden_trace.py``; matching the live plain run
+transitively matches the file).
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.perf.trace import TraceRecorder, state_digest
+from repro.shard.region import Region, ShardMap
+from repro.shard.runner import run_sharded
+
+
+def scenario_config(protocol: str, seed: int = 1) -> ExperimentConfig:
+    return ExperimentConfig(
+        protocol=protocol,
+        n_hosts=24,
+        width_m=500.0,
+        height_m=500.0,
+        sim_time_s=80.0,
+        n_flows=4,
+        max_speed_mps=2.0,
+        initial_energy_j=40.0,
+        seed=seed,
+    )
+
+
+def _plain_digests(config):
+    from repro.experiments.runner import build_network
+
+    network = build_network(config)
+    recorder = TraceRecorder()
+    network.run(until=config.sim_time_s, instruments=(recorder,))
+    return recorder.digest(), state_digest(network)
+
+
+def _sharded_digests(config):
+    from repro.experiments.runner import build_network  # noqa: F401
+
+    recorder = TraceRecorder()
+    shard_map = ShardMap(5, config.cell_side_m, 1)
+    region = Region(config, 0, shard_map, window_s=1.0)
+    sim = region.net.sim
+    region.start()
+    sim.instrument(recorder)
+    t, horizon = 0.0, config.sim_time_s
+    while t < horizon:
+        t = min(t + 1.0, horizon)
+        region.run_until(t)
+        region.collect_outbox()
+        region.sample()
+    sim.uninstrument(recorder)
+    region.finish()
+    return recorder.digest(), state_digest(region.net)
+
+
+@pytest.mark.parametrize("protocol", ("ecgrid", "grid", "gaf"))
+def test_one_shard_region_loop_is_bit_for_bit(protocol):
+    config = scenario_config(protocol)
+    plain_trace, plain_state = _plain_digests(config)
+    shard_trace, shard_state = _sharded_digests(config)
+    assert shard_trace == plain_trace
+    assert shard_state == plain_state
+
+
+def test_run_sharded_one_shard_matches_run_experiment():
+    """The public entry point, result record included."""
+    from repro.experiments.runner import run_experiment
+
+    config = scenario_config("ecgrid")
+    plain = run_experiment(config)
+    sharded = run_sharded(config, 1)
+    assert sharded.sent == plain.sent
+    assert sharded.delivered == plain.delivered
+    assert sharded.events_executed == plain.events_executed
+    assert sharded.mean_latency_s == plain.mean_latency_s
+    assert sharded.counters == plain.counters
+    assert sharded.first_death_s == plain.first_death_s
+    assert sharded.aen.last() == plain.aen.last()
+
+
+def test_one_shard_honors_instruments():
+    config = scenario_config("ecgrid")
+    plain_trace, _ = _plain_digests(config)
+    recorder = TraceRecorder()
+    run_sharded(config, 1, instruments=(recorder,))
+    assert recorder.digest() == plain_trace
