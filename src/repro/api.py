@@ -32,6 +32,14 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
+from repro.experiments.adaptive import (
+    DEFAULT_GATE_SCALARS,
+    GATE_SCALARS,
+    AdaptiveRunner,
+    PrecisionReport,
+    ReplicationPolicy,
+    adaptive_sweep,
+)
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.config import (
     CONFIG_SCHEMA,
@@ -101,6 +109,13 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "resolve_config",
+    # adaptive replication
+    "AdaptiveRunner",
+    "PrecisionReport",
+    "ReplicationPolicy",
+    "adaptive_sweep",
+    "GATE_SCALARS",
+    "DEFAULT_GATE_SCALARS",
     # caching
     "ResultCache",
     "default_cache_dir",
@@ -193,9 +208,21 @@ def figure(
     seed: int = 1,
     seeds: int = 1,
     runner: Optional[SweepRunner] = None,
+    target_ci: Optional[float] = None,
+    max_seeds: Optional[int] = None,
+    min_seeds: int = 3,
+    batch: int = 2,
+    confidence: float = 0.95,
     **axes: Any,
 ) -> FigureData:
-    """Regenerate any registered figure (see :data:`FIGURES`)."""
+    """Regenerate any registered figure (see :data:`FIGURES`).
+
+    ``target_ci`` (with the optional ``max_seeds`` / ``min_seeds`` /
+    ``batch`` / ``confidence`` schedule knobs) switches to adaptive
+    replication — seeds per arm are allocated until the headline-scalar
+    CIs meet the target or the cap; the precision report lands in
+    ``FigureData.precision``.  See :mod:`repro.experiments.adaptive`.
+    """
     return _registry_figure(
         name,
         speed=speed,
@@ -203,6 +230,11 @@ def figure(
         seed=seed,
         seeds=seeds,
         runner=runner,
+        target_ci=target_ci,
+        max_seeds=max_seeds,
+        min_seeds=min_seeds,
+        batch=batch,
+        confidence=confidence,
         **axes,
     )
 

@@ -59,6 +59,20 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
     )
+    p.add_argument(
+        "--target-ci", type=float, default=None, metavar="REL",
+        help="adaptive replication: add seeds per arm until every "
+        "headline scalar's relative CI half-width is within REL "
+        "(e.g. 0.05); overrides --seeds (see docs/sweeps.md)",
+    )
+    p.add_argument(
+        "--max-seeds", type=int, default=16,
+        help="adaptive replication cap per arm (with --target-ci)",
+    )
+    p.add_argument(
+        "--min-seeds", type=int, default=3,
+        help="adaptive replication pilot size (with --target-ci)",
+    )
 
 
 def _scale(args) -> float:
@@ -74,6 +88,13 @@ def _runner(args) -> SweepRunner:
 
 def _figure(name: str, args) -> FigureData:
     runner = _runner(args)
+    adaptive = {}
+    if args.target_ci is not None:
+        adaptive = dict(
+            target_ci=args.target_ci,
+            max_seeds=args.max_seeds,
+            min_seeds=args.min_seeds,
+        )
     fig = figure(
         name,
         speed=args.speed,
@@ -81,6 +102,7 @@ def _figure(name: str, args) -> FigureData:
         seed=args.seed,
         seeds=args.seeds,
         runner=runner,
+        **adaptive,
     )
     cached = 0 if runner.cache is None else runner.cache.hits
     simulated = None if runner.cache is None else runner.cache.misses
@@ -88,6 +110,10 @@ def _figure(name: str, args) -> FigureData:
         f"sweep: {simulated if simulated is not None else 'all'} point(s) "
         f"simulated, {cached} cached (workers={args.workers})"
     )
+    if fig.precision is not None:
+        from repro.api import PrecisionReport
+
+        print(PrecisionReport.from_dict(fig.precision).summary())
     return fig
 
 
@@ -151,11 +177,15 @@ def main(argv=None) -> int:
     bench_p.add_argument(
         "--suite", choices=sorted(bench_mod.SUITES), default="kernel",
         help="scenario suite: 'kernel' (reference topologies, "
-        "BENCH_kernel.json) or 'scale' (500/1000/2000-host topologies "
-        "at the paper's density, BENCH_scale.json)",
+        "BENCH_kernel.json), 'scale' (500/1000/2000-host topologies "
+        "at the paper's density, BENCH_scale.json), or 'figures' "
+        "(fixed vs adaptive replication at matched CI, "
+        "BENCH_sweep.json)",
     )
     bench_p.add_argument(
-        "--scenario", action="append", choices=sorted(bench_mod.ALL_SCENARIOS),
+        "--scenario", action="append",
+        choices=sorted(bench_mod.ALL_SCENARIOS)
+        + sorted(bench_mod.FIGURE_SCENARIOS),
         help="pinned scenario to run (repeatable; default: the suite)",
     )
     bench_p.add_argument("--label", default="", help="free-form record label")
@@ -369,6 +399,37 @@ def main(argv=None) -> int:
         suite_scenarios, suite_path = bench_mod.SUITES[args.suite]
         names = args.scenario or sorted(suite_scenarios)
         output = args.output or suite_path
+        if args.suite == "figures":
+            if args.shards or args.compare:
+                print(
+                    "error: --shards/--compare do not apply to the "
+                    "figures suite (its records compare fixed vs "
+                    "adaptive internally)"
+                )
+                return 2
+            unknown = [
+                n for n in names if n not in bench_mod.FIGURE_SCENARIOS
+            ]
+            if unknown:
+                print(
+                    f"error: {unknown} are not figures-suite scenarios "
+                    f"(choose from "
+                    f"{sorted(bench_mod.FIGURE_SCENARIOS)})"
+                )
+                return 2
+            record = bench_mod.make_figure_record(names, label=args.label)
+            print(bench_mod.format_figure_record(record))
+            if not args.no_append:
+                bench_mod.append_record(record, output)
+                print(f"appended to {output}")
+            return 0
+        bad = [n for n in names if n in bench_mod.FIGURE_SCENARIOS]
+        if bad:
+            print(
+                f"error: {bad} belong to the figures suite; run them "
+                f"with --suite figures"
+            )
+            return 2
         if args.shards:
             counts = tuple(
                 int(c) for c in args.shards.split(",") if c.strip()

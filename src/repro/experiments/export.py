@@ -156,8 +156,16 @@ def figure_to_dict(fig: "FigureData") -> Dict[str, Any]:
     function of the config grid, so re-running the same figure —
     serially, in parallel, or from a warm cache — yields an identical
     record.
+
+    Figures produced under adaptive replication additionally carry
+    ``"ci"`` (pointwise t-CI half-width bands) and ``"precision"`` (the
+    :class:`~repro.experiments.adaptive.PrecisionReport` dict).  These
+    keys are *additive and conditional* — fixed-seed-grid exports stay
+    byte-identical to pre-adaptive records, which is why they ride
+    schema v3 instead of forcing a bump (readers must treat both as
+    optional).
     """
-    return {
+    record = {
         "schema": RESULT_SCHEMA,
         "kind": "figure",
         "figure_id": fig.figure_id,
@@ -172,6 +180,10 @@ def figure_to_dict(fig: "FigureData") -> Dict[str, Any]:
             for k, per_seed in fig.raw.items()
         },
     }
+    if fig.precision is not None:
+        record["ci"] = {k: list(v) for k, v in fig.ci.items()}
+        record["precision"] = dict(fig.precision)
+    return record
 
 
 def figure_to_json(fig: "FigureData", indent: int = 2) -> str:

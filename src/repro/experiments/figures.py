@@ -25,6 +25,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -34,6 +35,7 @@ from typing import (
     Tuple,
 )
 
+from repro.experiments.adaptive import AdaptiveRunner, ReplicationPolicy
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_series_table
 from repro.experiments.runner import ExperimentResult
@@ -63,7 +65,12 @@ class FigureData:
     ``series`` holds the mean curves (the figure as plotted), ``bands``
     the pointwise sample stddev across seeds (zero for one seed), and
     ``raw`` the per-seed curves behind each mean, ordered like
-    ``seeds``.
+    ``seeds``.  ``ci`` is the pointwise Student-t confidence half-width
+    band on each mean curve (same x-grid discipline as ``bands``), and
+    ``precision`` the adaptive-replication report
+    (:meth:`repro.experiments.adaptive.PrecisionReport.to_dict`) when
+    the figure was produced under a ``target_ci`` — ``None`` for fixed
+    seed grids, whose exports stay byte-identical.
     """
 
     figure_id: str
@@ -75,6 +82,8 @@ class FigureData:
     bands: Dict[str, Series] = field(default_factory=dict)
     raw: Dict[str, List[Series]] = field(default_factory=dict)
     seeds: List[int] = field(default_factory=list)
+    ci: Dict[str, Series] = field(default_factory=dict)
+    precision: Optional[Dict[str, Any]] = None
 
     def to_text(self) -> str:
         return format_series_table(
@@ -633,6 +642,11 @@ def figure(
     seed: int = 1,
     seeds: int = 1,
     runner: Optional[SweepRunner] = None,
+    target_ci: Optional[float] = None,
+    max_seeds: Optional[int] = None,
+    min_seeds: int = 3,
+    batch: int = 2,
+    confidence: float = 0.95,
     **axes,
 ) -> FigureData:
     """Regenerate any registered figure through the sweep engine.
@@ -642,6 +656,19 @@ def figure(
     and caching (default: inline serial, uncached).  Remaining keyword
     arguments are figure-specific axes (``protocols=``, ``densities=``,
     ``pauses=``, ``periods=``, ``policies=``, ``sides=``).
+
+    ``target_ci`` switches to *adaptive replication*
+    (:mod:`repro.experiments.adaptive`): seeds are allocated per arm in
+    rounds from ``seed`` upward until every headline scalar's relative
+    CI half-width is within the target or the arm hits ``max_seeds``
+    (``seeds=N`` is ignored; ``min_seeds``/``batch``/``confidence``
+    tune the schedule).  The result carries the precision report in
+    ``FigureData.precision`` and the seeds actually used in
+    ``FigureData.seeds``.  Passing a pre-built
+    :class:`~repro.experiments.adaptive.AdaptiveRunner` as ``runner``
+    (the serve path does) uses its policy directly.  The trace-derived
+    ``gateway-tenure`` panel bypasses the sweep engine and therefore
+    ignores adaptive mode.
     """
     key = name.replace("_", "-")
     if key not in FIGURES:
@@ -650,12 +677,48 @@ def figure(
         )
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
-    seed_list = list(range(seed, seed + seeds))
-    fig = FIGURES[key](
-        _default_runner(runner), speed, scale, seed_list, **axes
-    )
-    if len(seed_list) > 1:
-        fig.title += f"  (mean of {len(seed_list)} seeds)"
+    engine: Optional[AdaptiveRunner] = None
+    if isinstance(runner, AdaptiveRunner):
+        engine = runner
+    elif target_ci is not None:
+        policy = ReplicationPolicy(
+            target_ci=target_ci,
+            min_seeds=min_seeds,
+            max_seeds=max_seeds if max_seeds is not None else 16,
+            batch=batch,
+            confidence=confidence,
+        )
+        engine = AdaptiveRunner(policy, _default_runner(runner))
+    elif max_seeds is not None:
+        raise ValueError("max_seeds requires target_ci (adaptive mode)")
+    if engine is not None:
+        # The spec's seed axis is the full allocatable pool; the
+        # scheduler decides the prefix each arm actually runs.
+        seed_list = list(range(seed, seed + engine.policy.max_seeds))
+        mark = len(engine.reports)
+        fig = FIGURES[key](engine, speed, scale, seed_list, **axes)
+        new_reports = engine.reports[mark:]
+        if new_reports:
+            report = new_reports[-1]
+            fig.precision = report.to_dict()
+            fig.seeds = report.used_seeds
+            fig.title += (
+                f"  (adaptive: {report.total_runs} runs, "
+                f"{'target met' if report.all_met else 'capped'})"
+            )
+    else:
+        seed_list = list(range(seed, seed + seeds))
+        fig = FIGURES[key](
+            _default_runner(runner), speed, scale, seed_list, **axes
+        )
+        if len(seed_list) > 1:
+            fig.title += f"  (mean of {len(seed_list)} seeds)"
+    from repro.experiments.stats import ci_series
+
+    fig.ci = {
+        label: ci_series(replicates, confidence)
+        for label, replicates in fig.raw.items()
+    }
     return fig
 
 

@@ -4,27 +4,59 @@ One seed is one sample of the mobility/traffic/MAC randomness; the
 paper's curves are (implicitly) single ns-2 runs, but a credible
 reproduction should show the spread.  These helpers run the same
 config under several seeds and reduce the results.
+
+Replicate execution routes through the sweep engine
+(:class:`~repro.experiments.sweep.SweepRunner`), so passing a
+configured runner gives replicates the process pool and the
+config-hash result cache for free; the default remains inline serial
+execution with identical results.
+
+The Student-t helpers at the bottom (:func:`t_quantile`,
+:func:`ci_halfwidth`, :func:`ci_series`) are the statistical floor of
+the adaptive replication engine (:mod:`repro.experiments.adaptive`):
+dependency-free small-sample confidence intervals on the headline
+scalars and pointwise bands on curves.
 """
 
 from __future__ import annotations
 
+import inspect
 import math
-from dataclasses import replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from statistics import NormalDist
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FigureData
-from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.experiments.sweep import resample_union
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweep import SweepRunner, SweepSpec, resample_union
 
 Series = List[Tuple[float, float]]
 
 
 def run_replicates(
-    config: ExperimentConfig, seeds: Sequence[int]
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    runner: Optional[SweepRunner] = None,
 ) -> List[ExperimentResult]:
-    """The same scenario under each seed."""
-    return [run_experiment(replace(config, seed=s)) for s in seeds]
+    """The same scenario under each seed, through the sweep engine.
+
+    Each replicate is one grid point of a ``{"seed": seeds}`` sweep, so
+    a ``runner`` configured with workers and/or a
+    :class:`~repro.experiments.cache.ResultCache` parallelizes and
+    caches replicates exactly like any other sweep (re-running the same
+    seeds is then free).  Without a runner the points execute inline
+    and uncached, as before.  Results come back in ``seeds`` order.
+    """
+    spec = SweepSpec(
+        name="replicates", base=config, axes={"seed": list(seeds)}
+    )
+    if runner is not None:
+        return runner.run(spec).results
+    owned = SweepRunner()
+    try:
+        return owned.run(spec).results
+    finally:
+        owned.shutdown(wait=True)
 
 
 def mean_series(series_list: Sequence[Series]) -> Series:
@@ -94,13 +126,35 @@ def average_figures(figs: Sequence[FigureData]) -> FigureData:
     )
 
 
+def _accepts_runner(fn: Callable[..., FigureData]) -> bool:
+    """Whether ``fn`` can take a ``runner=`` keyword (every registry
+    figure can; the deprecated pre-registry wrappers cannot)."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    return "runner" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+
+
 def replicate_figure(
     figure_fn: Callable[..., FigureData],
     seeds: Sequence[int],
     *args,
+    runner: Optional[SweepRunner] = None,
     **kwargs,
 ) -> FigureData:
-    """Run ``figure_fn(..., seed=s)`` per seed and average the curves."""
+    """Run ``figure_fn(..., seed=s)`` per seed and average the curves.
+
+    With ``runner`` given (and ``figure_fn`` accepting a ``runner``
+    keyword, as :func:`repro.experiments.figures.figure` and every
+    registry implementation do), all per-seed sweeps share that
+    runner's process pool and result cache instead of simulating
+    serially and uncached.
+    """
+    if runner is not None and _accepts_runner(figure_fn):
+        kwargs = {**kwargs, "runner": runner}
     figs = [figure_fn(*args, seed=s, **kwargs) for s in seeds]
     return average_figures(figs)
 
@@ -108,7 +162,20 @@ def replicate_figure(
 def summarize_scalars(
     results: Sequence[ExperimentResult],
 ) -> Dict[str, Tuple[float, float]]:
-    """(mean, sample stddev) of each headline scalar across replicates."""
+    """(mean, sample stddev) of each headline scalar across replicates.
+
+    Raises :class:`ValueError` on an empty result list.  A replicate
+    that saw no host death contributes its *own* horizon
+    (``config.sim_time_s``) to ``first_death_s`` — replicates may run
+    under different horizons (e.g. a mixed-scale sweep) and must not
+    inherit the first result's.
+    """
+    if not results:
+        raise ValueError(
+            "summarize_scalars needs at least one result (got an empty "
+            "sequence)"
+        )
+
     def reduce(vals: List[float]) -> Tuple[float, float]:
         n = len(vals)
         mean = sum(vals) / n
@@ -117,14 +184,86 @@ def summarize_scalars(
         var = sum((v - mean) ** 2 for v in vals) / (n - 1)
         return (mean, math.sqrt(var))
 
-    horizon = results[0].config.sim_time_s
     return {
         "delivery_rate": reduce([r.delivery_rate for r in results]),
         "mean_latency_s": reduce([r.mean_latency_s for r in results]),
         "aen_end": reduce([r.aen.last() for r in results]),
         "alive_end": reduce([r.alive_fraction.last() for r in results]),
         "first_death_s": reduce([
-            r.first_death_s if r.first_death_s is not None else horizon
+            r.first_death_s
+            if r.first_death_s is not None
+            else r.config.sim_time_s
             for r in results
         ]),
     }
+
+
+# ----------------------------------------------------------------------
+# Small-sample confidence intervals (no scipy dependency)
+# ----------------------------------------------------------------------
+def t_quantile(p: float, df: int) -> float:
+    """Student-t inverse CDF at probability ``p`` with ``df`` degrees
+    of freedom.
+
+    Exact closed forms for df 1 and 2; Hill's (1970) Cornish–Fisher
+    expansion of the normal quantile otherwise — within ~0.005 of the
+    table values for df >= 3, which is far inside the noise of the
+    sample standard deviations it multiplies.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if df < 1:
+        raise ValueError(f"df must be >= 1, got {df}")
+    if p == 0.5:
+        return 0.0
+    if df == 1:
+        return math.tan(math.pi * (p - 0.5))
+    if df == 2:
+        u = 2.0 * p - 1.0
+        return u * math.sqrt(2.0 / (1.0 - u * u))
+    x = NormalDist().inv_cdf(p)
+    g1 = (x ** 3 + x) / 4.0
+    g2 = (5 * x ** 5 + 16 * x ** 3 + 3 * x) / 96.0
+    g3 = (3 * x ** 7 + 19 * x ** 5 + 17 * x ** 3 - 15 * x) / 384.0
+    g4 = (
+        79 * x ** 9 + 776 * x ** 7 + 1482 * x ** 5
+        - 1920 * x ** 3 - 945 * x
+    ) / 92160.0
+    return x + g1 / df + g2 / df ** 2 + g3 / df ** 3 + g4 / df ** 4
+
+
+def ci_halfwidth(values: Sequence[float], confidence: float = 0.95) -> float:
+    """Half-width of the two-sided t confidence interval on the mean.
+
+    Zero for fewer than two samples (no spread estimate exists — the
+    caller must not read that as certainty; the adaptive gate never
+    evaluates below its pilot size).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return t_quantile(0.5 + confidence / 2.0, n - 1) * math.sqrt(var / n)
+
+
+def ci_series(
+    series_list: Sequence[Series], confidence: float = 0.95
+) -> Series:
+    """Pointwise t-CI half-width band on the union x-grid.
+
+    At each union x the interval runs over the replicates defined
+    there (df = n-1 varies along the curve as late-starting replicates
+    join); zero where fewer than two have started.
+    """
+    resampled = resample_union(series_list)
+    if resampled is None:
+        return []
+    grid, cols = resampled
+    out: Series = []
+    for i, x in enumerate(grid):
+        vals = [c[i] for c in cols if c[i] is not None]
+        out.append((x, ci_halfwidth(vals, confidence)))
+    return out

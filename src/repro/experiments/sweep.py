@@ -173,6 +173,10 @@ class SweepRun:
 
     spec: SweepSpec
     outcomes: List[SweepOutcome]
+    #: Precision report of an adaptive execution (the dict form of
+    #: :class:`repro.experiments.adaptive.PrecisionReport`); ``None``
+    #: for fixed grids.
+    precision: Optional[Dict[str, Any]] = None
 
     @property
     def results(self) -> List[ExperimentResult]:
@@ -287,7 +291,22 @@ class SweepRunner:
         self.shutdown(wait=exc_type is None)
 
     def run(self, spec: SweepSpec) -> SweepRun:
-        points = spec.expand()
+        return self.run_points(spec, spec.expand())
+
+    def run_points(
+        self, spec: SweepSpec, points: Sequence[SweepPoint]
+    ) -> SweepRun:
+        """Execute an explicit point list through the cache/pool machinery.
+
+        :meth:`run` is ``run_points(spec, spec.expand())``; schedulers
+        that allocate points incrementally (the adaptive replication
+        engine) submit their own lists.  Points are re-indexed to their
+        list position, and outcomes come back in list order.
+        """
+        points = [
+            p if p.index == i else replace(p, index=i)
+            for i, p in enumerate(points)
+        ]
         outcomes: List[Optional[SweepOutcome]] = [None] * len(points)
         self._total = len(points)
         self._done = 0

@@ -92,10 +92,54 @@ SCALE_SCENARIOS: Dict[str, Dict[str, Any]] = {
     },
 }
 
+#: Output file of the adaptive-replication figure suite.
+SWEEP_PATH = "BENCH_sweep.json"
+
+#: The figure-replication suite (``bench --suite figures``): fixed
+#: seed grid vs adaptive allocation on the paper's head-to-head
+#: workloads, at *matched* CI half-width.  Each scenario pins a
+#: lifetime-style protocol sweep and a
+#: :class:`~repro.experiments.adaptive.ReplicationPolicy`; the record
+#: compares the adaptive run against the fixed grid a non-adaptive
+#: design would need for the same worst-arm precision (every arm at
+#: the adaptive run's *maximum* per-arm seed count).
+#:
+#: ``fig4-lifetime`` gates ``first_death_s`` (the paper's Fig. 4
+#: lifetime claim): GRID/ECGRID die nearly deterministically while
+#: GAF's first death is noisy, so adaptivity concentrates seeds on one
+#: arm — the headline ≥2x case.  ``fig5-aen`` gates ``aen_end`` on a
+#: shortened horizon (~50 s post-scale; at the full horizon every host
+#: is dead and the mean energy saturates with zero spread, which would
+#: gate trivially): two of three arms are noisy there, so the saving
+#: is structurally smaller — reported honestly.
+FIGURE_SCENARIOS: Dict[str, Dict[str, Any]] = {
+    "fig4-lifetime": {
+        "base": dict(max_speed_mps=1.0, pause_time_s=0.0),
+        "scale": 0.12,
+        "protocols": ("grid", "ecgrid", "gaf"),
+        "policy": dict(
+            target_ci=0.06, min_seeds=3, max_seeds=16, batch=2,
+            gate_scalars=("first_death_s",),
+        ),
+    },
+    "fig5-aen": {
+        "base": dict(
+            max_speed_mps=1.0, pause_time_s=0.0, sim_time_s=420.0
+        ),
+        "scale": 0.12,
+        "protocols": ("grid", "ecgrid", "gaf"),
+        "policy": dict(
+            target_ci=0.10, min_seeds=3, max_seeds=16, batch=2,
+            gate_scalars=("aen_end",),
+        ),
+    },
+}
+
 #: Suite name -> (scenario table, default trajectory file).
 SUITES: Dict[str, Any] = {
     "kernel": (REFERENCE_SCENARIOS, DEFAULT_PATH),
     "scale": (SCALE_SCENARIOS, SCALE_PATH),
+    "figures": (FIGURE_SCENARIOS, SWEEP_PATH),
 }
 
 #: Every pinned scenario across all suites (names are globally unique).
@@ -269,6 +313,131 @@ def make_shard_record(
             run_scenario_shards(name, shard_counts=shard_counts)
         )
     return record
+
+
+def _figure_suite_spec(name: str):
+    """The pinned sweep behind one ``figures``-suite scenario."""
+    from repro.experiments.sweep import SweepSpec
+
+    scenario = FIGURE_SCENARIOS[name]
+    return SweepSpec(
+        name=name,
+        base=ExperimentConfig(**scenario["base"]),
+        axes={
+            "protocol": list(scenario["protocols"]),
+            "seed": [1],
+        },
+        scale=scenario["scale"],
+    )
+
+
+def _run_figure_policy(name: str, policy) -> Dict[str, Any]:
+    """Execute one figures-suite scenario under ``policy`` (serial,
+    uncached — wall seconds must measure simulation, not the cache)
+    and reduce its precision report to a bench entry."""
+    from repro.experiments.adaptive import AdaptiveRunner
+    from repro.experiments.sweep import SweepRunner
+
+    runner = AdaptiveRunner(policy, SweepRunner(workers=0, cache=None))
+    start = time.perf_counter()
+    runner.run(_figure_suite_spec(name))
+    wall = time.perf_counter() - start
+    report = runner.last_report
+    return {
+        "runs": report.total_runs,
+        "wall_s": wall,
+        "looks": report.looks,
+        "seeds_per_arm": {
+            a["key"]: len(a["seeds"]) for a in report.arms
+        },
+        "met": [a["key"] for a in report.arms if a["met"]],
+        "capped": [a["key"] for a in report.arms if a["capped"]],
+        "worst_rel_halfwidth": {
+            a["key"]: a["worst_rel_halfwidth"] for a in report.arms
+        },
+    }
+
+
+def run_scenario_figures(name: str) -> Dict[str, Any]:
+    """Fixed grid vs adaptive allocation on one figure workload.
+
+    The adaptive pass runs the scenario's pinned policy; the fixed
+    baseline then re-runs the *same* machinery as a single-look design
+    of ``max(seeds per arm)`` replicates on every arm — the grid a
+    non-adaptive harness would have to budget for the same worst-arm
+    CI half-width (a fixed grid cannot size arms individually, so the
+    noisiest arm sets the bill for all).  Both passes are serial and
+    uncached, so wall seconds compare simulation work only.
+    """
+    from repro.experiments.adaptive import ReplicationPolicy
+
+    policy = ReplicationPolicy.from_dict(FIGURE_SCENARIOS[name]["policy"])
+    adaptive = _run_figure_policy(name, policy)
+    n_fixed = max(adaptive["seeds_per_arm"].values())
+    # target_ci=0 never stops early: one look of exactly n_fixed seeds
+    # per arm, with the achieved half-widths read off the same gate.
+    fixed_policy = ReplicationPolicy(
+        target_ci=0.0,
+        min_seeds=n_fixed,
+        max_seeds=n_fixed,
+        batch=1,
+        confidence=policy.confidence,
+        gate_scalars=policy.gate_scalars,
+    )
+    fixed = _run_figure_policy(name, fixed_policy)
+    return {
+        "policy": policy.to_dict(),
+        "adaptive": adaptive,
+        "fixed": fixed,
+        "fixed_seeds_per_arm": n_fixed,
+        "run_ratio": fixed["runs"] / adaptive["runs"],
+        "wall_ratio": (
+            fixed["wall_s"] / adaptive["wall_s"]
+            if adaptive["wall_s"] > 0 else 0.0
+        ),
+    }
+
+
+def make_figure_record(
+    scenarios: Iterable[str], label: str = ""
+) -> Dict[str, Any]:
+    """A bench record of the adaptive-replication figure suite."""
+    record: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "git_rev": _git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "scenarios": {},
+    }
+    for name in scenarios:
+        record["scenarios"][name] = run_scenario_figures(name)
+    return record
+
+
+def format_figure_record(record: Dict[str, Any]) -> str:
+    lines = [
+        f"bench figures [{record.get('label') or 'unlabeled'}] "
+        f"rev {record['git_rev']} python {record['python']}",
+        f"  {'scenario':<14} {'fixed':>6} {'adaptive':>9} "
+        f"{'runs':>6} {'fixed s':>8} {'adapt s':>8} {'wall':>6}",
+    ]
+    for name, data in record["scenarios"].items():
+        adaptive, fixed = data["adaptive"], data["fixed"]
+        capped = (
+            f"  [capped: {', '.join(adaptive['capped'])}]"
+            if adaptive["capped"] else ""
+        )
+        lines.append(
+            f"  {name:<14} {fixed['runs']:>6} {adaptive['runs']:>9} "
+            f"{data['run_ratio']:>5.2f}x {fixed['wall_s']:>8.2f} "
+            f"{adaptive['wall_s']:>8.2f} {data['wall_ratio']:>5.2f}x"
+            f"{capped}"
+        )
+    return "\n".join(lines)
 
 
 #: Tracing (default categories, "sim" off) may cost at most this

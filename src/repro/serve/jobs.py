@@ -38,7 +38,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.api import ResultCache, SweepRunner, cache_version
+from repro.api import (
+    AdaptiveRunner,
+    ReplicationPolicy,
+    ResultCache,
+    SweepRunner,
+    cache_version,
+)
 from repro.api import figure as api_figure
 from repro.api import run as api_run
 from repro.serve.events import EventBroker, TraceRelay
@@ -48,10 +54,18 @@ from repro.serve.protocol import (
     JobView,
     ProtocolError,
     SubmitRequest,
+    adaptive_from_payload,
     config_from_payload,
     figure_kwargs_from_payload,
     spec_from_payload,
     spec_to_payload,
+)
+
+#: The figure-kwarg fields that describe an adaptive policy (peeled off
+#: the parsed work so the job table owns the AdaptiveRunner and its
+#: round hook instead of figure() building a private one).
+_ADAPTIVE_FIGURE_FIELDS = (
+    "target_ci", "max_seeds", "min_seeds", "batch", "confidence",
 )
 
 
@@ -98,6 +112,9 @@ class Job:
     #: Dedup identity: equal keys describe identical work on identical
     #: code (see :meth:`JobTable._work_key`).
     key: str
+    #: Adaptive replication policy (sweep/figure jobs), or None for
+    #: fixed grids.
+    policy: Optional[ReplicationPolicy] = None
     state: str = "queued"
     created_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
@@ -177,7 +194,8 @@ class JobTable:
         """
         request.validate()
         work = self._parse_work(request)
-        key = self._work_key(request, work)
+        policy = self._parse_policy(request, work)
+        key = self._work_key(request, work, policy)
         with self._lock:
             if self._closed:
                 raise ProtocolError("server is shutting down", status=503)
@@ -203,6 +221,7 @@ class JobTable:
                 request=request,
                 work=work,
                 key=key,
+                policy=policy,
             )
             self._jobs[job.job_id] = job
             self.broker.open(job.job_id)
@@ -237,10 +256,41 @@ class JobTable:
         if request.kind == "run":
             return config_from_payload(request.payload)
         if request.kind == "sweep":
-            return spec_from_payload(request.payload)
+            payload = {
+                k: v for k, v in request.payload.items() if k != "adaptive"
+            }
+            return spec_from_payload(payload)
         return figure_kwargs_from_payload(request.payload)
 
-    def _work_key(self, request: SubmitRequest, work: Any) -> str:
+    def _parse_policy(
+        self, request: SubmitRequest, work: Any
+    ) -> Optional[ReplicationPolicy]:
+        """The job's adaptive policy, if the payload asked for one.
+
+        Figure jobs carry the policy inline in their parsed kwargs —
+        those fields are *removed* from ``work`` here so that
+        ``figure()`` receives the job table's wrapped
+        :class:`AdaptiveRunner` (round hook attached) instead of
+        building a private engine from the kwargs.
+        """
+        if request.kind == "sweep":
+            block = request.payload.get("adaptive")
+            return None if block is None else adaptive_from_payload(block)
+        if request.kind == "figure" and "target_ci" in work:
+            fields = {
+                k: work.pop(k)
+                for k in _ADAPTIVE_FIGURE_FIELDS
+                if k in work
+            }
+            return adaptive_from_payload(fields)
+        return None
+
+    def _work_key(
+        self,
+        request: SubmitRequest,
+        work: Any,
+        policy: Optional[ReplicationPolicy] = None,
+    ) -> str:
         """Dedup identity of the requested work.
 
         ``run`` jobs reuse the result cache's config hash (already
@@ -267,6 +317,9 @@ class JobTable:
             }
         ident["trace"] = request.trace
         ident["trace_filter"] = request.trace_filter
+        # Adaptive work never dedups against fixed-grid work (or
+        # against a different stopping rule) on the same grid.
+        ident["adaptive"] = policy.to_dict() if policy else None
         blob = json.dumps(
             ident, sort_keys=True, separators=(",", ":"), default=str
         )
@@ -332,13 +385,40 @@ class JobTable:
 
         return progress
 
-    def _runner(self, job: Job) -> SweepRunner:
-        return SweepRunner(
+    def _round_fn(self, job: Job):
+        """Adaptive round hook: streams each look's allocation as an
+        SSE ``progress`` frame (seeds per arm, met/capped verdicts)."""
+
+        def on_round(info: Any) -> None:
+            self.broker.publish(
+                job.job_id,
+                "progress",
+                {
+                    "job_id": job.job_id,
+                    **job.progress.to_dict(),
+                    "adaptive": {
+                        "look": info["look"],
+                        "seeds": dict(info["seeds"]),
+                        "met": list(info["met"]),
+                        "capped": list(info["capped"]),
+                    },
+                },
+            )
+
+        return on_round
+
+    def _runner(self, job: Job) -> "SweepRunner | AdaptiveRunner":
+        runner = SweepRunner(
             workers=self.sweep_workers,
             cache=self.cache,
             timeout_s=self.timeout_s,
             progress=self._progress_fn(job),
         )
+        if job.policy is not None:
+            return AdaptiveRunner(
+                job.policy, runner, on_round=self._round_fn(job)
+            )
+        return runner
 
     def _execute_sweep(self, job: Job) -> Any:
         runner = self._runner(job)

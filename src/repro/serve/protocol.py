@@ -39,6 +39,11 @@ API_VERSION = 1
 #:    every record now carries ``"kind"`` (``"result"`` / ``"figure"`` /
 #:    ``"sweep"``) next to ``"schema"``, so a reader can dispatch
 #:    without guessing from the key set.  Values are unchanged.
+#:
+#:    Additive (no bump): figure/sweep records produced under adaptive
+#:    replication carry optional ``"ci"`` / ``"precision"`` keys;
+#:    fixed-grid records are byte-identical to plain v3 and readers
+#:    must treat both keys as optional (see docs/sweeps.md).
 RESULT_SCHEMA = 3
 
 #: Submittable job kinds.
@@ -83,9 +88,13 @@ class SubmitRequest:
       (:meth:`ExperimentConfig.to_dict` shape);
     - ``sweep`` — ``{"name", "base", "axes", "scale"}`` describing a
       :class:`~repro.experiments.sweep.SweepSpec` (``base`` is a config
-      dict; ``axes`` maps axis names to value lists);
+      dict; ``axes`` maps axis names to value lists); an optional
+      ``"adaptive"`` block (:func:`adaptive_from_payload`) switches the
+      seed axis to adaptive replication;
     - ``figure`` — ``{"name", "speed", "scale", "seed", "seeds",
-      "axes"}`` for the figure registry.
+      "axes"}`` for the figure registry, plus optional adaptive fields
+      (``target_ci``, ``max_seeds``, ``min_seeds``, ``batch``,
+      ``confidence``).
 
     ``trace=True`` (``run`` jobs only) attaches a tracer and streams
     its events over the job's SSE channel; ``trace_filter`` narrows the
@@ -355,7 +364,10 @@ def figure_kwargs_from_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
         raise ProtocolError(
             f"unknown figure {name!r}; choose from {sorted(FIGURES)}"
         )
-    known = {"name", "speed", "scale", "seed", "seeds", "axes"}
+    known = {
+        "name", "speed", "scale", "seed", "seeds", "axes",
+        "target_ci", "max_seeds", "min_seeds", "batch", "confidence",
+    }
     unknown = set(payload) - known
     if unknown:
         raise ProtocolError(
@@ -365,7 +377,7 @@ def figure_kwargs_from_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
     axes = payload.get("axes", {})
     if not isinstance(axes, Mapping):
         raise ProtocolError("figure 'axes' must be a JSON object")
-    return {
+    kwargs = {
         "name": str(name),
         "speed": float(payload.get("speed", 1.0)),
         "scale": float(payload.get("scale", 1.0)),
@@ -373,14 +385,49 @@ def figure_kwargs_from_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
         "seeds": int(payload.get("seeds", 1)),
         **{k: v for k, v in axes.items()},
     }
+    adaptive_fields = {
+        "target_ci", "max_seeds", "min_seeds", "batch", "confidence",
+    } & set(payload)
+    if adaptive_fields:
+        if "target_ci" not in payload:
+            raise ProtocolError(
+                f"figure field(s) {sorted(adaptive_fields)} need "
+                f"'target_ci' (adaptive replication; see docs/sweeps.md)"
+            )
+        policy = adaptive_from_payload(
+            {k: payload[k] for k in adaptive_fields}
+        )
+        kwargs.update(policy.to_dict())
+        del kwargs["gate_scalars"]
+    return kwargs
+
+
+def adaptive_from_payload(payload: Mapping[str, Any]) -> Any:
+    """A validated :class:`~repro.experiments.adaptive.ReplicationPolicy`
+    from the ``adaptive`` block of a sweep payload (or the adaptive
+    fields of a figure payload)."""
+    from repro.api import ReplicationPolicy
+
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("'adaptive' must be a JSON object")
+    try:
+        return ReplicationPolicy.from_dict(payload)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"bad adaptive policy: {exc}") from exc
 
 
 def sweep_envelope(run: Any) -> Dict[str, Any]:
     """The schema-versioned HTTP record of a finished sweep: one
-    ``result`` record per outcome, tagged with its axis coordinates."""
+    ``result`` record per outcome, tagged with its axis coordinates.
+
+    Sweeps executed under adaptive replication additionally carry a
+    ``"precision"`` key (the
+    :class:`~repro.experiments.adaptive.PrecisionReport` dict) —
+    additive and conditional, so fixed-grid envelopes are unchanged.
+    """
     from repro.api import result_to_dict
 
-    return {
+    envelope = {
         "schema": RESULT_SCHEMA,
         "kind": "sweep",
         "name": run.spec.name,
@@ -397,3 +444,6 @@ def sweep_envelope(run: Any) -> Dict[str, Any]:
             for o in run.outcomes
         ],
     }
+    if getattr(run, "precision", None) is not None:
+        envelope["precision"] = dict(run.precision)
+    return envelope

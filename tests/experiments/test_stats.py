@@ -140,3 +140,122 @@ def test_replicate_figure_end_to_end():
     assert set(fig.series) == {"grid", "ecgrid", "gaf"}
     for s in fig.series.values():
         assert s[0][1] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Replicates through the sweep engine (pool + config-hash cache)
+# ----------------------------------------------------------------------
+def test_run_replicates_hits_cache_on_second_call(tmp_path):
+    # Regression: replicates used to call run_experiment directly,
+    # bypassing the result cache entirely.
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.sweep import SweepRunner
+
+    cache = ResultCache(str(tmp_path))
+    runner = SweepRunner(workers=0, cache=cache)
+    cfg = ExperimentConfig(protocol="grid", **TINY)
+    first = run_replicates(cfg, seeds=[1, 2], runner=runner)
+    assert cache.misses == 2 and cache.hits == 0
+    second = run_replicates(cfg, seeds=[1, 2], runner=runner)
+    assert cache.hits == 2  # every replicate answered from the cache
+    assert [r.events_executed for r in first] == [
+        r.events_executed for r in second
+    ]
+
+
+def test_run_replicates_matches_inline_results():
+    # Routing through the sweep engine must not change the simulation:
+    # the default (no runner) path and an explicit serial runner agree.
+    from repro.experiments.sweep import SweepRunner
+
+    cfg = ExperimentConfig(protocol="grid", **TINY)
+    inline = run_replicates(cfg, seeds=[1, 2])
+    runner = SweepRunner(workers=0, cache=None)
+    routed = run_replicates(cfg, seeds=[1, 2], runner=runner)
+    assert [r.events_executed for r in inline] == [
+        r.events_executed for r in routed
+    ]
+    assert [r.delivery_rate for r in inline] == [
+        r.delivery_rate for r in routed
+    ]
+
+
+def test_replicate_figure_shares_runner_cache(tmp_path):
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.figures import figure
+    from repro.experiments.sweep import SweepRunner
+
+    cache = ResultCache(str(tmp_path))
+    runner = SweepRunner(workers=0, cache=cache)
+    replicate_figure(figure, [1, 2], "fig4", scale=0.08, runner=runner)
+    misses = cache.misses
+    assert misses > 0 and cache.hits == 0
+    replicate_figure(figure, [1, 2], "fig4", scale=0.08, runner=runner)
+    assert cache.misses == misses  # second pass is all cache hits
+
+
+def test_summarize_scalars_empty_raises():
+    with pytest.raises(ValueError, match="at least one result"):
+        summarize_scalars([])
+
+
+def test_summarize_scalars_uses_each_results_own_horizon():
+    # Two survivors under different horizons: first_death_s must mix
+    # 20 s and 40 s, not inherit results[0]'s horizon for both.
+    from dataclasses import replace as dc_replace
+
+    cfg = ExperimentConfig(protocol="grid", **TINY)
+    short, = run_replicates(cfg, seeds=[1])
+    long_cfg = dc_replace(cfg, sim_time_s=40.0)
+    long, = run_replicates(long_cfg, seeds=[1])
+    assert short.first_death_s is None and long.first_death_s is None
+    mean, _ = summarize_scalars([short, long])["first_death_s"]
+    assert mean == pytest.approx((20.0 + 40.0) / 2)
+
+
+# ----------------------------------------------------------------------
+# Student-t helpers (the adaptive engine's statistical floor)
+# ----------------------------------------------------------------------
+def test_t_quantile_matches_tables():
+    from repro.experiments.stats import t_quantile
+
+    # Two-sided 95% critical values (df=1 and 2 are exact closed
+    # forms; the Hill expansion must stay within ~0.005 above that).
+    assert t_quantile(0.975, 1) == pytest.approx(12.706, abs=1e-3)
+    assert t_quantile(0.975, 2) == pytest.approx(4.303, abs=1e-3)
+    assert t_quantile(0.975, 4) == pytest.approx(2.776, abs=5e-3)
+    assert t_quantile(0.975, 9) == pytest.approx(2.262, abs=5e-3)
+    assert t_quantile(0.975, 30) == pytest.approx(2.042, abs=5e-3)
+    assert t_quantile(0.5, 7) == 0.0
+    # Symmetry.
+    assert t_quantile(0.025, 9) == pytest.approx(-t_quantile(0.975, 9))
+
+
+def test_t_quantile_rejects_bad_args():
+    from repro.experiments.stats import t_quantile
+
+    with pytest.raises(ValueError):
+        t_quantile(0.0, 3)
+    with pytest.raises(ValueError):
+        t_quantile(0.975, 0)
+
+
+def test_ci_halfwidth():
+    from repro.experiments.stats import ci_halfwidth
+
+    assert ci_halfwidth([5.0]) == 0.0
+    assert ci_halfwidth([], 0.95) == 0.0
+    # n=2, sd=sqrt(2), se=1: half-width = t(0.975, df=1) = 12.706.
+    assert ci_halfwidth([1.0, 3.0]) == pytest.approx(12.706, abs=1e-3)
+    with pytest.raises(ValueError):
+        ci_halfwidth([1.0, 2.0], confidence=1.0)
+
+
+def test_ci_series_leading_edge_is_zero():
+    from repro.experiments.stats import ci_series
+
+    a = [(0.0, 0.0), (10.0, 0.0)]
+    b = [(5.0, 4.0)]
+    got = ci_series([a, b])
+    assert got[0] == (0.0, 0.0)  # one replicate defined: no interval
+    assert got[1][1] > 0.0
