@@ -40,6 +40,11 @@ from repro.experiments.adaptive import (
     ReplicationPolicy,
     adaptive_sweep,
 )
+from repro.core.election import (
+    ELECTION_POLICIES,
+    ElectionPolicy,
+    get_policy,
+)
 from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.config import (
     CONFIG_SCHEMA,
@@ -83,6 +88,8 @@ from repro.experiments.sweep import (
 )
 from repro.experiments.validate import InvariantChecker, InvariantReport
 from repro.faults.plan import FaultPlan
+from repro.metrics.partition import PartitionReport, partition_quality
+from repro.protocols.base import ProtocolParams
 
 __all__ = [
     # verbs
@@ -94,6 +101,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "FaultPlan",
+    "ProtocolParams",
     "PROTOCOLS",
     "CONFIG_SCHEMA",
     "cache_version",
@@ -122,6 +130,12 @@ __all__ = [
     # figures
     "FIGURES",
     "FigureData",
+    # election policies and partition scoring
+    "ELECTION_POLICIES",
+    "ElectionPolicy",
+    "get_policy",
+    "PartitionReport",
+    "partition_quality",
     # export (schema-versioned, shared with the HTTP API)
     "RESULT_SCHEMA",
     "figure_to_csv",

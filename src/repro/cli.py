@@ -23,10 +23,12 @@ import argparse
 import sys
 
 from repro.api import (
+    ELECTION_POLICIES,
     FIGURES,
     PROTOCOLS,
     ExperimentConfig,
     FigureData,
+    ProtocolParams,
     ResultCache,
     SweepRunner,
     default_cache_dir,
@@ -135,6 +137,16 @@ def main(argv=None) -> int:
     run_p.add_argument("--energy", type=float, default=500.0)
     run_p.add_argument("--area", type=float, default=1000.0)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--election-policy", choices=sorted(ELECTION_POLICIES),
+        default="paper",
+        help="gateway-election policy (see docs/election.md)",
+    )
+    run_p.add_argument(
+        "--partition", action="store_true",
+        help="score the gateway partition (load balance, churn, "
+        "coverage gaps) and print the report (see docs/election.md)",
+    )
     run_p.add_argument(
         "--faults", metavar="FILE", default=None,
         help="JSON fault plan to inject into the run (see docs/faults.md)",
@@ -331,6 +343,8 @@ def main(argv=None) -> int:
             height_m=args.area,
             seed=args.seed,
             faults=faults,
+            params=ProtocolParams(election_policy=args.election_policy),
+            evaluate_partition=args.partition,
         )
         instruments = ()
         profiler = None
@@ -366,6 +380,11 @@ def main(argv=None) -> int:
             cfg, instruments=instruments, tracer=tracer, shards=args.shards
         )
         print(result.summary())
+        if result.partition:
+            scores = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(result.partition.items())
+            )
+            print(f"  partition {scores}")
         if tracer is not None and args.trace:
             tracer.export_jsonl(args.trace)
             print(

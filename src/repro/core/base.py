@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.election import Candidate, beats, elect
+from repro.core.election import Candidate, beats, elect, get_policy
 from repro.core.messages import (
     Acq,
     DataEnvelope,
@@ -71,6 +71,14 @@ class GridProtocolBase(RoutingProtocol):
         super().__init__(node, params)
         self.counters = counters if counters is not None else Counters()
         self.rng = node.sim.rng.stream(f"proto-{node.id}")
+        #: The gateway-election ranking this run uses (swaps only the
+        #: sort key; the election machinery itself is policy-blind).
+        self.election_policy = get_policy(params.election_policy)
+        # Cumulative gateway-tenure bookkeeping (always on: pure local
+        # arithmetic, no events or RNG, so the default path stays
+        # bit-for-bit).  The load policy advertises it.
+        self._tenure_started: Optional[float] = None
+        self._tenure_total = 0.0
 
         self.role = Role.ACTIVE
         self.my_cell: GridCoord = node.cell()
@@ -132,9 +140,43 @@ class GridProtocolBase(RoutingProtocol):
         return self.role is Role.GATEWAY
 
     def self_candidate(self) -> Candidate:
+        if not self.election_policy.needs_context:
+            return Candidate(
+                self.node.id, self.node.energy_level(),
+                self.node.dist_to_center(),
+            )
         return Candidate(
-            self.node.id, self.node.energy_level(), self.node.dist_to_center()
+            self.node.id,
+            self.node.energy_level(),
+            self.node.dist_to_center(),
+            dwell_s=self._dwell_estimate(),
+            tenure_s=self.gateway_tenure_s(),
         )
+
+    def _dwell_estimate(self) -> float:
+        """§3.2's straight-line dwell heuristic, advertised as election
+        context under the dwell policy."""
+        from repro.mobility.dwell import estimate_dwell_time
+
+        return estimate_dwell_time(
+            self.node.position(),
+            self.node.velocity(),
+            self.node.grid,
+            self.params.min_dwell_s,
+            self.params.max_dwell_s,
+        )
+
+    def gateway_tenure_s(self) -> float:
+        """Total time this host has served as gateway so far."""
+        total = self._tenure_total
+        if self._tenure_started is not None:
+            total += self.now - self._tenure_started
+        return total
+
+    def _close_tenure(self) -> None:
+        if self._tenure_started is not None:
+            self._tenure_total += self.now - self._tenure_started
+            self._tenure_started = None
 
     def _peer_fresh_cutoff(self) -> float:
         return self.now - self.params.hello_period_s * self.params.hello_loss_tolerance
@@ -152,19 +194,24 @@ class GridProtocolBase(RoutingProtocol):
     def _unicast(self, message: Message, dst: int, on_ok=None, on_fail=None) -> None:
         self.node.mac.send(message, dst, on_ok=on_ok, on_fail=on_fail)
 
+    def _hello_message(self, gflag: bool) -> Hello:
+        """Our beacon, carrying election context only when the run's
+        policy needs it (``self_candidate`` gates the computation)."""
+        me = self.self_candidate()
+        return Hello(
+            id=self.node.id,
+            cell=self.my_cell,
+            gflag=gflag,
+            level=me.level,
+            dist=me.dist,
+            dwell_s=me.dwell_s,
+            tenure_s=me.tenure_s,
+        )
+
     def _send_hello(self) -> None:
         self._last_hello_sent = self.now
         self.counters.inc("hello_sent")
-        me = self.self_candidate()
-        self._broadcast(
-            Hello(
-                id=self.node.id,
-                cell=self.my_cell,
-                gflag=self.is_gateway,
-                level=me.level,
-                dist=me.dist,
-            )
-        )
+        self._broadcast(self._hello_message(self.is_gateway))
 
     def _hello_soon(self, max_jitter: float = 0.1) -> None:
         """An extra, jittered HELLO outside the periodic schedule
@@ -209,6 +256,7 @@ class GridProtocolBase(RoutingProtocol):
                 "gateway.demote", node=self.node.id, cell=self.my_cell,
                 reason="death",
             )
+        self._close_tenure()
         self.role = Role.DEAD
         self.hello_timer.stop()
         self.watch_timer.cancel()
@@ -236,7 +284,7 @@ class GridProtocolBase(RoutingProtocol):
             return
         candidates = self.fresh_peers()
         candidates.append(self.self_candidate())
-        winner = elect(candidates, self.energy_aware)
+        winner = elect(candidates, self.energy_aware, self.election_policy)
         if winner is not None and winner.id == self.node.id:
             self.become_gateway()
         else:
@@ -266,6 +314,8 @@ class GridProtocolBase(RoutingProtocol):
     ) -> None:
         if self.role is Role.DEAD:
             return
+        if self._tenure_started is None:
+            self._tenure_started = self.now
         self.role = Role.GATEWAY
         self.my_gateway = self.node.id
         self.my_gateway_level = self.node.energy_level()
@@ -300,6 +350,7 @@ class GridProtocolBase(RoutingProtocol):
     def demote_to_active(self) -> None:
         """Stop being the gateway (lost a conflict or retired)."""
         if self.role is Role.GATEWAY:
+            self._close_tenure()
             tr = self.node.tracer
             if tr.gateway:
                 tr.emit("gateway.demote", node=self.node.id, cell=self.my_cell)
@@ -353,7 +404,9 @@ class GridProtocolBase(RoutingProtocol):
                 self.cell_peers.pop(h.id, None)
             return
 
-        self.cell_peers[h.id] = (Candidate(h.id, h.level, h.dist), now)
+        self.cell_peers[h.id] = (
+            Candidate(h.id, h.level, h.dist, h.dwell_s, h.tenure_s), now
+        )
 
         if h.gflag:
             self.neighbor_gateways[h.cell] = (h.id, now)
@@ -399,8 +452,10 @@ class GridProtocolBase(RoutingProtocol):
         """Two gateways in one grid (merge or duplicate election): the
         election rules decide; the loser hands over its tables."""
         me = self.self_candidate()
-        them = Candidate(other.id, other.level, other.dist)
-        if beats(me, them, self.energy_aware):
+        them = Candidate(
+            other.id, other.level, other.dist, other.dwell_s, other.tenure_s
+        )
+        if beats(me, them, self.energy_aware, self.election_policy):
             # Re-assert; the other side demotes on hearing us.
             self._hello_response()
             return

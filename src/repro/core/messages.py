@@ -17,7 +17,14 @@ from repro.net.packet import DataPacket, Message
 
 @dataclass
 class Hello(Message):
-    """Periodic beacon of every active host (paper §3.1, five fields)."""
+    """Periodic beacon of every active host (paper §3.1, five fields).
+
+    ``dwell_s`` / ``tenure_s`` are optional election context (the
+    advertiser's grid-dwell estimate and recent gateway tenure),
+    populated only under election policies that need them (see
+    :mod:`repro.core.election`); an absent field costs no wire bytes,
+    so default-policy beacons keep the paper's 20-byte size.
+    """
 
     size_bytes: ClassVar[int] = 20
 
@@ -26,6 +33,17 @@ class Hello(Message):
     gflag: bool = False
     level: EnergyLevel = EnergyLevel.UPPER
     dist: float = 0.0
+    dwell_s: Optional[float] = None
+    tenure_s: Optional[float] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        from repro.net.packet import LINK_OVERHEAD_BYTES
+
+        extra = (4 if self.dwell_s is not None else 0) + (
+            4 if self.tenure_s is not None else 0
+        )
+        return self.size_bytes + extra + LINK_OVERHEAD_BYTES
 
     def describe(self) -> str:
         flag = "G" if self.gflag else "-"

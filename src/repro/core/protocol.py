@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.base import GridProtocolBase, Role
-from repro.core.messages import Acq, Hello, Leave, SleepNotify
+from repro.core.messages import Acq, Leave, SleepNotify
 from repro.core.routing import GridRoutingMixin
 from repro.des.timer import Timer
 from repro.energy.profile import EnergyLevel
@@ -223,17 +223,7 @@ class EcGridProtocol(GridFamilyProtocol):
             return
         self.hosts.mark_active(msg.id)
         self._member_registered(msg.id)
-        me = self.self_candidate()
-        self._unicast(
-            Hello(
-                id=self.node.id,
-                cell=self.my_cell,
-                gflag=True,
-                level=me.level,
-                dist=me.dist,
-            ),
-            msg.id,
-        )
+        self._unicast(self._hello_message(gflag=True), msg.id)
 
     # ------------------------------------------------------------------
     # Hooks wired into the shared machinery

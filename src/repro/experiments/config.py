@@ -91,6 +91,14 @@ class ExperimentConfig:
     #: Part of the config, so it participates in :meth:`cache_key` and
     #: can serve as a sweep axis.
     faults: Optional[FaultPlan] = None
+    # -- observability ---------------------------------------------------
+    #: Compute partition-quality scores (:mod:`repro.metrics.partition`)
+    #: for this run: the runner traces the ``gateway`` stream and
+    #: reduces it into ``ExperimentResult.partition``.  Off by default —
+    #: the flag changes only what is *measured*, never the simulated
+    #: schedule, but it is part of the config (and its cache key) so
+    #: scored and unscored result records never alias.
+    evaluate_partition: bool = False
     # -- protocol tunables ----------------------------------------------
     params: ProtocolParams = field(default_factory=ProtocolParams)
     gaf: GafParams = field(default_factory=GafParams)
@@ -102,6 +110,13 @@ class ExperimentConfig:
             )
         if self.n_flows < 0 or self.sim_time_s <= 0:
             raise ValueError("need n_flows >= 0 and sim_time_s > 0")
+        from repro.core.election import ELECTION_POLICIES
+
+        if self.params.election_policy not in ELECTION_POLICIES:
+            raise ValueError(
+                f"unknown election policy {self.params.election_policy!r}; "
+                f"choose from {sorted(ELECTION_POLICIES)}"
+            )
 
     @property
     def endpoints(self) -> int:

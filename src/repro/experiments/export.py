@@ -46,10 +46,16 @@ __all__ = [
 
 
 def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
-    """A JSON-serializable record of one run (schema-versioned)."""
+    """A JSON-serializable record of one run (schema-versioned).
+
+    Runs scored by the partition evaluator (``evaluate_partition``
+    configs) additionally carry a ``"partition"`` key — additive and
+    conditional like the adaptive ``"ci"``/``"precision"`` figure keys,
+    so unscored records stay byte-identical on schema v3.
+    """
     cfg = result.config.to_dict()
     # Nested param dataclasses serialize too (to_dict recurses).
-    return {
+    record = {
         "schema": RESULT_SCHEMA,
         "kind": "result",
         "config": cfg,
@@ -73,6 +79,9 @@ def result_to_dict(result: "ExperimentResult") -> Dict[str, Any]:
         "events_executed": result.events_executed,
         "wall_time_s": result.wall_time_s,
     }
+    if result.partition:
+        record["partition"] = dict(result.partition)
+    return record
 
 
 def _series(name: str, rows: Sequence[Tuple[float, float]]) -> TimeSeries:
@@ -118,6 +127,7 @@ def result_from_dict(data: Mapping[str, Any]) -> "ExperimentResult":
         dropped=data["dropped"],
         drop_reasons=dict(data["drop_reasons"]),
         recovery=dict(data["recovery"]),
+        partition=dict(data.get("partition", {})),
         events_executed=data["events_executed"],
         wall_time_s=data["wall_time_s"],
     )

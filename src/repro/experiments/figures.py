@@ -617,6 +617,112 @@ def _gateway_tenure(
     )
 
 
+# ----------------------------------------------------------------------
+# Election-policy faceoff (ROADMAP item 5: rank gateway-election
+# policies on partition quality; see docs/election.md)
+# ----------------------------------------------------------------------
+#: The policies the faceoff ranks by default (every registered one).
+ELECTION_COMPARED = ("paper", "grid", "dwell", "load", "random")
+
+
+def _election_faceoff(
+    runner, speed, scale, seeds,
+    policies: Sequence[str] = ELECTION_COMPARED,
+    scenarios: Optional[Sequence[Tuple[str, Dict[str, Any]]]] = None,
+) -> FigureData:
+    """Rank gateway-election policies on partition quality across
+    scenario shapes.
+
+    One sweep per scenario shape runs ``policies x seeds`` through the
+    supplied engine (plain or adaptive) with ``evaluate_partition``
+    set, so each worker scores its own run's gateway partition
+    (:mod:`repro.metrics.partition`) and the scores ride the result
+    cache with everything else.  Series are labelled
+    ``{policy}:{metric}`` over the scenario index: the evaluator's
+    load-fairness (CV / Gini), churn and coverage-gap scores, plus
+    ``lifetime_frac`` (first host death as a fraction of the horizon,
+    1.0 = nobody died).  Scenario shapes default to the paper baseline
+    (``cruise``), an 8 m/s high-churn variant (``sprint``), and a
+    pause-dominated near-static variant (``parked``).
+
+    Under adaptive replication each scenario is its own sweep, so the
+    attached precision report covers the *last* scenario's arms.
+    """
+    if scenarios is None:
+        scenarios = (
+            ("cruise", {}),
+            ("sprint", {"max_speed_mps": max(8.0, 8.0 * speed)}),
+            # Near-static: a slow crawl plus long pauses.  The crawl
+            # matters — random waypoint only pauses *after* the first
+            # leg completes, so a fast-speed/long-pause variant is
+            # indistinguishable from cruise on a scaled-down horizon.
+            # scaled() leaves pause times alone; pin the pause to the
+            # scaled horizon explicitly (~60% of it parked).
+            ("parked", {
+                "max_speed_mps": 0.1,
+                "pause_time_s": 1200.0 * scale,
+            }),
+        )
+    per_label: Dict[str, Dict[int, Series]] = {}
+    results: Dict[str, ExperimentResult] = {}
+    for x, (scenario, overrides) in enumerate(scenarios):
+        base = _base(
+            speed, scale, seeds[0],
+            protocol="ecgrid", evaluate_partition=True, **overrides,
+        )
+        run = runner.run(SweepSpec(
+            name=f"election-faceoff-{scenario}",
+            base=base,
+            axes={
+                "params.election_policy": list(policies),
+                "seed": list(seeds),
+            },
+        ))
+        for outcome in run.outcomes:
+            point, result = outcome.point, outcome.result
+            policy = point.axes["params.election_policy"]
+            seed = point.axes.get("seed", point.config.seed)
+            results[f"scenario={scenario};{point.key()}"] = result
+            horizon = point.config.sim_time_s
+            death = result.first_death_s
+            scores = {
+                "load_cv": result.partition.get("load_cv", 0.0),
+                "load_gini": result.partition.get("load_gini", 0.0),
+                "churn_per_100s": result.partition.get(
+                    "churn_per_100s", 0.0
+                ),
+                "gap_fraction": result.partition.get("gap_fraction", 0.0),
+                "lifetime_frac": (
+                    death if death is not None else horizon
+                ) / horizon,
+            }
+            for metric, value in scores.items():
+                per_label.setdefault(
+                    f"{policy}:{metric}", {}
+                ).setdefault(seed, []).append((float(x), value))
+    series: Dict[str, Series] = {}
+    bands: Dict[str, Series] = {}
+    raw: Dict[str, List[Series]] = {}
+    for label, by_seed in per_label.items():
+        replicates = [sorted(by_seed[s]) for s in seeds if s in by_seed]
+        raw[label] = replicates
+        series[label] = mean_series(replicates)
+        bands[label] = stddev_series(replicates)
+    names = ", ".join(name for name, _ in scenarios)
+    return FigureData(
+        "election-faceoff",
+        f"Election-policy partition quality across scenarios "
+        f"(speed {speed} m/s)",
+        f"scenario index ({names})",
+        "score",
+        series,
+        results,
+        bands,
+        raw,
+        list(seeds),
+    )
+
+
 #: Every regenerable figure, keyed by its canonical (CLI) name.  Each
 #: entry is ``impl(runner, speed, scale, seeds, **axes) -> FigureData``.
 FIGURES: Dict[str, Callable[..., FigureData]] = {
@@ -631,6 +737,7 @@ FIGURES: Dict[str, Callable[..., FigureData]] = {
     "ablation-gridsize": _ablation_gridsize,
     "resilience": _resilience,
     "gateway-tenure": _gateway_tenure,
+    "election-faceoff": _election_faceoff,
 }
 
 

@@ -103,6 +103,10 @@ class ExperimentResult:
     #: :func:`repro.metrics.recovery.recovery_summary`); empty without
     #: a fault plan.
     recovery: Dict[str, float] = field(default_factory=dict)
+    #: Partition-quality scores (see
+    #: :func:`repro.metrics.partition.partition_quality`); empty unless
+    #: the config set ``evaluate_partition``.
+    partition: Dict[str, float] = field(default_factory=dict)
     events_executed: int = 0
     #: Wall clock of the event loop alone, measured inside whichever
     #: process executed the run — never includes scenario construction,
@@ -245,11 +249,20 @@ def run_experiment(
         and tracer is None
         and not instruments
         and config.faults is None
+        and not config.evaluate_partition
     ):
         from repro.shard.runner import run_sharded
 
         return run_sharded(config, shards)
     network = build_network(config)
+    if tracer is None and config.evaluate_partition:
+        # Partition scoring reads the gateway (and fault) streams; a
+        # private tracer records them without touching dispatch.  The
+        # wide ring keeps high-churn scenarios from evicting the early
+        # elections the tenure reconstruction needs.
+        from repro.obs import Tracer
+
+        tracer = Tracer(categories=("gateway", "fault"), ring=1_000_000)
     if tracer is not None:
         network.attach_tracer(tracer)
         if tracer.sim:
@@ -277,4 +290,18 @@ def run_experiment(
             config.sim_time_s,
             checker.report if checker is not None else None,
         )
-    return result_from_network(network, config, wall, recovery)
+    result = result_from_network(network, config, wall, recovery)
+    if (
+        config.evaluate_partition
+        and tracer is not None
+        and tracer.gateway
+    ):
+        from repro.metrics.partition import partition_quality
+
+        events = list(tracer.events("gateway"))
+        if tracer.fault:
+            events += list(tracer.events("fault"))
+        result.partition = partition_quality(
+            events, config.sim_time_s
+        ).to_dict()
+    return result

@@ -57,6 +57,7 @@ AXIS_ALIASES = {
     "energy": "initial_energy_j",
     "flows": "n_flows",
     "time": "sim_time_s",
+    "election": "params.election_policy",
 }
 
 _CONFIG_FIELDS = {f.name for f in fields(ExperimentConfig)}

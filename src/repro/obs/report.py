@@ -9,6 +9,7 @@ exactly while a cell is uncovered).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.trace import TraceEvent
@@ -18,12 +19,29 @@ Cell = Tuple[int, int]
 Tenure = Tuple[int, Cell, float, float]
 
 
+#: Event names that end a node's gateway tenure.  A gateway normally
+#: emits ``gateway.demote`` (a ``reason="death"`` demote precedes the
+#: role flip on battery exhaustion), but that event can be missing from
+#: the stream the caller has — ring-buffer eviction, a filtered export,
+#: or a crash injected before the demote made it out — so a node-death
+#: event closes any tenure still open for that node.
+_TENURE_CLOSERS = ("gateway.demote", "fault.crash", "node.death")
+
+
 def gateway_tenures(
     events: Iterable[TraceEvent], horizon: float
 ) -> List[Tenure]:
     """Per-gateway tenure intervals from ``gateway.elect`` /
     ``gateway.demote`` events.  Tenures still open at ``horizon`` are
-    closed there."""
+    closed there.
+
+    A node-death event (``fault.crash`` with ``applied`` truthy, or
+    ``node.death``) also closes the node's open tenure: a crashed
+    gateway stops covering its cell at the crash, whether or not its
+    ``gateway.demote`` survived into ``events``.  Callers analysing
+    faulted runs should therefore pass the merged ``gateway`` +
+    ``fault`` streams, time-ordered.
+    """
     open_at: Dict[int, Tuple[Cell, float]] = {}
     tenures: List[Tenure] = []
     for ev in events:
@@ -39,7 +57,11 @@ def gateway_tenures(
                 tenures.append((node, prior[0], prior[1], ev.t))
             if prior is None or prior[0] != cell:
                 open_at[node] = (cell, ev.t)
-        elif ev.name == "gateway.demote":
+        elif ev.name in _TENURE_CLOSERS:
+            if ev.name == "fault.crash" and not ev.fields.get(
+                "applied", True
+            ):
+                continue  # the crash hit an already-dead node
             prior = open_at.pop(node, None)
             if prior is not None:
                 tenures.append((node, prior[0], prior[1], ev.t))
@@ -84,12 +106,24 @@ def percentiles(
     values: List[float], qs: Iterable[float] = (0, 25, 50, 75, 100)
 ) -> List[Tuple[float, float]]:
     """``(q, value)`` points of the empirical distribution (nearest
-    rank), or an empty list for no samples."""
+    rank), or an empty list for no samples.
+
+    Nearest rank proper: the q-th percentile is the smallest sample
+    with at least ``q``\\ % of the distribution at or below it —
+    ``ceil(q/100 * n)``, 1-indexed.  (An earlier version rounded a
+    linear-interpolation index, and Python's banker's rounding —
+    ``round(0.5) == 0`` — pulled small-sample quartiles down a rank.)
+    """
     if not values:
         return []
     data = sorted(values)
+    n = len(data)
     out = []
     for q in qs:
-        idx = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
+        # q * n first: q/100*n computes 0.07*100 = 7.000000000000001,
+        # and ceil would bump the rank; q*n/100 is exact whenever the
+        # true rank is an integer.
+        rank = math.ceil(q * n / 100.0)
+        idx = min(n - 1, max(0, rank - 1))
         out.append((float(q), data[idx]))
     return out

@@ -64,6 +64,11 @@ class ProtocolParams:
     acq_timeout_s: float = 0.25
     #: ECGRID load-balance handoff on battery band change (§3.2).
     load_balance: bool = True
+    #: Gateway-election ranking (see :mod:`repro.core.election`):
+    #: "paper" (rules 1-3), "grid" (non-energy-aware), "dwell", "load",
+    #: or "random".  Part of the experiment config, so it keys the
+    #: result cache and the serve-path work identity.
+    election_policy: str = "paper"
 
 
 class RoutingProtocol:

@@ -1,0 +1,187 @@
+"""Pluggable election policies: registry, keys, and the distributed
+properties every policy must preserve (see docs/election.md).
+
+The property tests pin what the conflict path relies on for *both*
+energy-aware settings: ``beats()`` is antisymmetric and total over
+distinct hosts, so when two gateways hear each other exactly one backs
+down — the end-to-end convergence tests force that duel inside a real
+ECGRID (energy-aware) and GRID (non-energy-aware) network.
+"""
+
+import itertools
+
+from repro.core.base import Role
+from repro.core.election import (
+    DEFAULT_POLICY_NAME,
+    ELECTION_POLICIES,
+    Candidate,
+    beats,
+    elect,
+    get_policy,
+)
+from repro.energy.profile import EnergyLevel
+from repro.protocols.base import ProtocolParams
+
+import pytest
+
+from tests.helpers import make_static_network
+
+
+def C(id, level=EnergyLevel.UPPER, dist=0.0, dwell=None, tenure=None):
+    return Candidate(id, level, dist, dwell_s=dwell, tenure_s=tenure)
+
+
+#: A pool exercising every rule: band splits, distance ties, context
+#: fields present/absent, id tiebreaks.
+POOL = [
+    C(1, EnergyLevel.UPPER, 10.0, dwell=30.0, tenure=0.0),
+    C(2, EnergyLevel.UPPER, 10.0, dwell=3.0, tenure=45.0),
+    C(3, EnergyLevel.BOUNDARY, 1.0, dwell=90.0, tenure=5.0),
+    C(4, EnergyLevel.UPPER, 25.0),
+    C(5, EnergyLevel.LOWER, 0.5, dwell=90.0, tenure=120.0),
+    C(6, EnergyLevel.UPPER, 10.0, dwell=31.0, tenure=44.0),
+]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_contents():
+    assert set(ELECTION_POLICIES) == {
+        "paper", "grid", "dwell", "load", "random"
+    }
+    assert DEFAULT_POLICY_NAME == "paper"
+    for name, policy in ELECTION_POLICIES.items():
+        assert policy.name == name
+
+
+def test_get_policy_unknown_name_lists_choices():
+    with pytest.raises(ValueError, match="dwell"):
+        get_policy("round-robin")
+
+
+def test_context_flags():
+    """Only dwell/load read the advertised context — the flag is what
+    keeps default-policy HELLOs (and the golden traces) unchanged."""
+    needs = {n for n, p in ELECTION_POLICIES.items() if p.needs_context}
+    assert needs == {"dwell", "load"}
+
+
+# ----------------------------------------------------------------------
+# Individual policy keys
+# ----------------------------------------------------------------------
+def test_paper_policy_matches_legacy_key():
+    policy = get_policy("paper")
+    for cand in POOL:
+        for aware in (True, False):
+            assert policy.key(cand, aware) == cand.key(aware)
+
+
+def test_grid_policy_never_reads_energy():
+    policy = get_policy("grid")
+    low = C(1, EnergyLevel.LOWER, 5.0)
+    high = C(2, EnergyLevel.UPPER, 20.0)
+    assert beats(low, high, energy_aware=True, policy=policy)
+
+
+def test_dwell_policy_prefers_longer_dwell_within_band():
+    policy = get_policy("dwell")
+    # Farther from center but staying 30 s longer: dwell wins.
+    stayer = C(1, EnergyLevel.UPPER, 40.0, dwell=35.0)
+    central = C(2, EnergyLevel.UPPER, 1.0, dwell=4.0)
+    assert beats(stayer, central, policy=policy)
+    # Sub-quantum dwell differences defer to the paper's distance rule.
+    a = C(1, EnergyLevel.UPPER, 40.0, dwell=31.0)
+    b = C(2, EnergyLevel.UPPER, 1.0, dwell=33.0)
+    assert beats(b, a, policy=policy)
+    # Band stays the primary criterion.
+    drained = C(3, EnergyLevel.LOWER, 1.0, dwell=900.0)
+    assert beats(central, drained, policy=policy)
+
+
+def test_load_policy_prefers_least_served():
+    policy = get_policy("load")
+    fresh = C(1, EnergyLevel.UPPER, 40.0, tenure=0.0)
+    veteran = C(2, EnergyLevel.UPPER, 1.0, tenure=75.0)
+    assert beats(fresh, veteran, policy=policy)
+    # Within one tenure bucket the paper's distance rule decides.
+    a = C(1, EnergyLevel.UPPER, 40.0, tenure=12.0)
+    b = C(2, EnergyLevel.UPPER, 1.0, tenure=18.0)
+    assert beats(b, a, policy=policy)
+    # Missing context ranks as zero tenure, not an error.
+    assert beats(C(1, dist=40.0), veteran, policy=policy)
+
+
+def test_random_policy_is_deterministic_and_ignores_distance():
+    policy = get_policy("random")
+    a = C(1, EnergyLevel.UPPER, 999.0)
+    b = C(2, EnergyLevel.UPPER, 0.0)
+    first = beats(a, b, policy=policy)
+    assert all(
+        beats(a, b, policy=policy) == first for _ in range(5)
+    )
+    # Distance never enters: moving a host does not change its rank.
+    assert policy.key(a) == policy.key(C(1, EnergyLevel.UPPER, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Properties every policy must preserve (the conflict path's contract)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(ELECTION_POLICIES))
+@pytest.mark.parametrize("aware", [True, False])
+def test_beats_antisymmetric_and_total(name, aware):
+    """For distinct hosts exactly one side wins, and nobody beats
+    itself — otherwise two conflicting gateways could both back down
+    (or both stay)."""
+    policy = get_policy(name)
+    for a, b in itertools.combinations(POOL, 2):
+        assert beats(a, b, aware, policy) != beats(b, a, aware, policy)
+    for cand in POOL:
+        assert not beats(cand, cand, aware, policy)
+
+
+@pytest.mark.parametrize("name", sorted(ELECTION_POLICIES))
+@pytest.mark.parametrize("aware", [True, False])
+def test_elect_agrees_with_beats_and_order(name, aware):
+    """Every host evaluating the same set picks the same winner, and
+    that winner beats every other candidate."""
+    policy = get_policy(name)
+    winners = {
+        elect(list(perm), aware, policy).id
+        for perm in itertools.permutations(POOL)
+    }
+    assert len(winners) == 1
+    wid = winners.pop()
+    winner = next(c for c in POOL if c.id == wid)
+    for other in POOL:
+        if other.id != winner.id:
+            assert beats(winner, other, aware, policy)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a forced two-gateway conflict converges to exactly one,
+# for both the energy-aware (ECGRID) and non-energy-aware (GRID) paths.
+# ----------------------------------------------------------------------
+def _force_gateway_duel(protocol, policy):
+    params = ProtocolParams(election_policy=policy)
+    net = make_static_network(
+        [(40, 40), (60, 60)], protocol=protocol, params=params
+    )
+    net.run(until=8.0)
+    gws = [n for n in net.nodes if n.protocol.role is Role.GATEWAY]
+    assert len(gws) == 1, [n.protocol.role for n in net.nodes]
+    other = next(n for n in net.nodes if n is not gws[0])
+    if not other.awake:
+        other.wake_up()
+    other.protocol.role = Role.ACTIVE
+    other.protocol.become_gateway()
+    net.sim.run(until=net.sim.now + 6.0)
+    return net
+
+
+@pytest.mark.parametrize("protocol", ["ecgrid", "grid"])
+@pytest.mark.parametrize("policy", sorted(ELECTION_POLICIES))
+def test_gateway_conflict_converges_to_one(protocol, policy):
+    net = _force_gateway_duel(protocol, policy)
+    gws = [n for n in net.nodes if n.protocol.role is Role.GATEWAY]
+    assert len(gws) == 1, [n.protocol.role for n in net.nodes]

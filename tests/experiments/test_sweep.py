@@ -259,7 +259,7 @@ def test_registry_covers_paper_and_ablations():
         "fig4", "fig5", "fig6", "fig7", "fig8",
         "ablation-hello", "ablation-loadbalance",
         "ablation-search", "ablation-gridsize",
-        "resilience", "gateway-tenure",
+        "resilience", "gateway-tenure", "election-faceoff",
     }
 
 

@@ -1,0 +1,150 @@
+"""Report-layer fixes: nearest-rank percentiles, crash-closed tenures,
+and explicit-cells coverage gaps.
+
+The first two classes pin bugs fixed in this revision and fail on the
+prior code:
+
+- ``percentiles`` rounded a linear-interpolation index (with Python's
+  banker's rounding on the .5 cases), so small-sample quartiles and
+  large-sample medians landed one rank off nearest-rank proper;
+- ``gateway_tenures`` only closed tenures at ``gateway.demote``, so a
+  crashed gateway whose demote never made it into the stream (ring
+  eviction, filtered export) kept covering its cell until the horizon.
+"""
+
+from repro.obs.report import (
+    gateway_tenures,
+    no_gateway_intervals,
+    percentiles,
+)
+from repro.obs.trace import TraceEvent
+
+_seq = iter(range(10_000))
+
+
+def ev(name, t, node=None, **fields):
+    category = name.split(".", 1)[0]
+    return TraceEvent(next(_seq), t, name, category, node, fields)
+
+
+# ----------------------------------------------------------------------
+# percentiles: nearest rank proper (ceil(q/100 * n), 1-indexed)
+# ----------------------------------------------------------------------
+def test_percentiles_empty_and_singleton():
+    assert percentiles([]) == []
+    assert percentiles([7.0], (0, 50, 100)) == [
+        (0.0, 7.0), (50.0, 7.0), (100.0, 7.0)
+    ]
+
+
+def test_percentiles_two_samples():
+    # Any q <= 50 has rank ceil(q/100*2) <= 1 -> the smaller sample;
+    # q > 50 needs both samples at-or-below -> the larger.
+    got = dict(percentiles([20.0, 10.0], (0, 25, 50, 75, 100)))
+    assert got == {0.0: 10.0, 25.0: 10.0, 50.0: 10.0,
+                   75.0: 20.0, 100.0: 20.0}
+
+
+def test_percentiles_small_sample_quartiles():
+    """n=4: nearest-rank quartiles are the 1st/2nd/3rd samples.
+
+    Regression: the rounded linear index gave 2/3/3 here — the 25th
+    percentile of four samples must be the *first* (25% of the
+    distribution is at or below it), not the second.
+    """
+    got = dict(percentiles([1.0, 2.0, 3.0, 4.0], (25, 50, 75)))
+    assert got == {25.0: 1.0, 50.0: 2.0, 75.0: 3.0}
+
+
+def test_percentiles_large_sample_identity():
+    """For samples 1..100 the q-th percentile is exactly q (rank
+    ceil(q) of the sorted data).  Regression: the old index put the
+    25th percentile at 26 and the median at 51."""
+    data = [float(v) for v in range(1, 101)]
+    for q, value in percentiles(data, range(1, 101)):
+        assert value == q
+
+
+def test_percentiles_extremes_pin_min_and_max():
+    data = [5.0, 1.0, 9.0]
+    got = dict(percentiles(data, (0, 100)))
+    assert got == {0.0: 1.0, 100.0: 9.0}
+
+
+# ----------------------------------------------------------------------
+# gateway_tenures: node death closes the open tenure
+# ----------------------------------------------------------------------
+def test_crash_closes_open_tenure():
+    """Regression: a crashed gateway whose ``gateway.demote`` is absent
+    from the stream must stop covering its cell at the crash, not at
+    the horizon."""
+    events = [
+        ev("gateway.elect", 10.0, node=5, cell=(1, 1)),
+        ev("fault.crash", 20.0, node=5, applied=True),
+    ]
+    assert gateway_tenures(events, horizon=100.0) == [(5, (1, 1), 10.0, 20.0)]
+
+
+def test_node_death_closes_open_tenure():
+    events = [
+        ev("gateway.elect", 4.0, node=2, cell=(0, 0)),
+        ev("node.death", 30.0, node=2),
+    ]
+    assert gateway_tenures(events, horizon=50.0) == [(2, (0, 0), 4.0, 30.0)]
+
+
+def test_unapplied_crash_is_ignored():
+    """A ``fault.crash`` with ``applied=False`` hit an already-dead
+    node; it must not close (or re-close) anything."""
+    events = [
+        ev("gateway.elect", 4.0, node=2, cell=(0, 0)),
+        ev("fault.crash", 30.0, node=2, applied=False),
+    ]
+    assert gateway_tenures(events, horizon=50.0) == [(2, (0, 0), 4.0, 50.0)]
+
+
+def test_demote_then_crash_yields_one_tenure():
+    """The in-process stream carries both the death demote and the
+    crash at the same instant; the crash must be a no-op, not a
+    duplicate zero-length tenure."""
+    events = [
+        ev("gateway.elect", 4.0, node=2, cell=(0, 0)),
+        ev("gateway.demote", 30.0, node=2, cell=(0, 0), reason="death"),
+        ev("fault.crash", 30.0, node=2, applied=True),
+    ]
+    assert gateway_tenures(events, horizon=50.0) == [(2, (0, 0), 4.0, 30.0)]
+
+
+def test_crash_of_non_gateway_is_harmless():
+    events = [
+        ev("gateway.elect", 4.0, node=2, cell=(0, 0)),
+        ev("fault.crash", 10.0, node=9, applied=True),
+    ]
+    assert gateway_tenures(events, horizon=50.0) == [(2, (0, 0), 4.0, 50.0)]
+
+
+# ----------------------------------------------------------------------
+# no_gateway_intervals with an explicit cells baseline
+# ----------------------------------------------------------------------
+def test_never_covered_cell_is_one_full_gap():
+    events = [ev("gateway.elect", 0.0, node=1, cell=(0, 0))]
+    gaps = no_gateway_intervals(
+        events, horizon=80.0, cells=[(0, 0), (3, 3)]
+    )
+    assert gaps[(3, 3)] == [(0.0, 80.0)]
+
+
+def test_covered_from_t0_has_no_leading_gap():
+    events = [ev("gateway.elect", 0.0, node=1, cell=(0, 0))]
+    gaps = no_gateway_intervals(events, horizon=80.0, cells=[(0, 0)])
+    assert gaps[(0, 0)] == []
+
+
+def test_explicit_cells_restrict_the_report():
+    events = [
+        ev("gateway.elect", 0.0, node=1, cell=(0, 0)),
+        ev("gateway.elect", 5.0, node=2, cell=(1, 0)),
+    ]
+    gaps = no_gateway_intervals(events, horizon=80.0, cells=[(1, 0)])
+    assert set(gaps) == {(1, 0)}
+    assert gaps[(1, 0)] == [(0.0, 5.0)]
